@@ -1,0 +1,60 @@
+//! Criterion benchmarks of whole simulated DSM operations: wall-clock
+//! cost of running a barrier round or a lock ping over each substrate.
+//! (The *simulated* times are E2's business; this measures how much real
+//! CPU the reproduction burns per simulated operation.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+
+use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
+use tm_sim::SimParams;
+use tmk::{Substrate, Tmk, TmkConfig};
+
+fn barrier_round<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
+    for k in 0..10 {
+        tmk.barrier(k);
+    }
+    1
+}
+
+fn lock_round<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
+    let r = tmk.malloc(4096);
+    tmk.barrier(0);
+    for _ in 0..10 {
+        tmk.acquire(0);
+        let v = tmk.get_u32(r, 0);
+        tmk.set_u32(r, 0, v + 1);
+        tmk.release(0);
+    }
+    tmk.barrier(1);
+    tmk.get_u32(r, 0) as u64
+}
+
+fn bench_cluster_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_cluster");
+    g.sample_size(10);
+    g.bench_function("fast_barrier_x4_10rounds", |b| {
+        b.iter(|| {
+            let params = Arc::new(SimParams::paper_testbed());
+            let cfg = FastConfig::paper(&params);
+            run_fast_dsm(4, params, cfg, TmkConfig::default(), barrier_round)
+        })
+    });
+    g.bench_function("udp_barrier_x4_10rounds", |b| {
+        b.iter(|| {
+            let params = Arc::new(SimParams::paper_testbed());
+            run_udp_dsm(4, params, TmkConfig::default(), barrier_round)
+        })
+    });
+    g.bench_function("fast_lock_counter_x4", |b| {
+        b.iter(|| {
+            let params = Arc::new(SimParams::paper_testbed());
+            let cfg = FastConfig::paper(&params);
+            run_fast_dsm(4, params, cfg, TmkConfig::default(), lock_round)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cluster_ops);
+criterion_main!(benches);

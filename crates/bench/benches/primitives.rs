@@ -1,0 +1,129 @@
+//! Criterion benchmarks of the runtime's hot primitives (real wall time,
+//! not simulated): diff creation/application, vector-clock ops, GM size
+//! classes, protocol codec, and the FFT kernel. These are the operations
+//! the virtual-time cost model prices; their real cost determines how
+//! fast the simulator itself runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use tmk::diff::Diff;
+use tmk::protocol::{Request, Response};
+use tmk::vc::VectorClock;
+use tmk::wire::{WireReader, WireWriter};
+
+fn page_pair(change_every: usize) -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0u8; 4096];
+    let mut cur = twin.clone();
+    let mut i = 0;
+    while i < cur.len() {
+        cur[i] = 0xAB;
+        i += change_every;
+    }
+    (twin, cur)
+}
+
+fn bench_diffs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    let (twin_sparse, cur_sparse) = page_pair(512);
+    let (twin_dense, cur_dense) = page_pair(8);
+    g.bench_function("create_sparse_4k", |b| {
+        b.iter(|| Diff::create(black_box(&twin_sparse), black_box(&cur_sparse)))
+    });
+    g.bench_function("create_dense_4k", |b| {
+        b.iter(|| Diff::create(black_box(&twin_dense), black_box(&cur_dense)))
+    });
+    let d = Diff::create(&twin_dense, &cur_dense);
+    g.bench_function("apply_dense_4k", |b| {
+        b.iter_batched(
+            || twin_dense.clone(),
+            |mut t| d.apply(black_box(&mut t)),
+            BatchSize::SmallInput,
+        )
+    });
+    let mut w = WireWriter::new();
+    d.encode(&mut w);
+    let buf = w.finish();
+    g.bench_function("decode_dense_4k", |b| {
+        b.iter(|| Diff::decode(&mut WireReader::new(black_box(&buf))))
+    });
+    g.finish();
+}
+
+fn bench_vc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_clock");
+    let mut a = VectorClock::new(256);
+    let mut bvc = VectorClock::new(256);
+    for i in 0..256 {
+        a.set(i, (i * 7) as u32);
+        bvc.set(i, (i * 5 + 3) as u32);
+    }
+    g.bench_function("join_256", |b| {
+        b.iter_batched(
+            || a.clone(),
+            |mut x| x.join(black_box(&bvc)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dominated_by_256", |b| {
+        b.iter(|| black_box(&a).dominated_by(black_box(&bvc)))
+    });
+    g.finish();
+}
+
+fn bench_gm_size(c: &mut Criterion) {
+    c.bench_function("gm_size_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for len in (0..32768usize).step_by(17) {
+                acc += tm_gm::gm_size(black_box(len)) as u32;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_protocol_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("protocol");
+    let vc = {
+        let mut v = VectorClock::new(16);
+        for i in 0..16 {
+            v.set(i, i as u32 * 3);
+        }
+        v
+    };
+    let req = Request::Acquire { lock: 7, vc };
+    g.bench_function("encode_acquire", |b| b.iter(|| black_box(&req).encode(42)));
+    let buf = req.encode(42);
+    g.bench_function("decode_acquire", |b| {
+        b.iter(|| Request::decode(black_box(&buf)))
+    });
+    let resp = Response::FullPage {
+        page: 3,
+        applied: vec![1; 16],
+        data: vec![7u8; 4096],
+    };
+    g.bench_function("encode_full_page", |b| b.iter(|| black_box(&resp).encode(9)));
+    g.finish();
+}
+
+fn bench_fft_kernel(c: &mut Criterion) {
+    let data: Vec<f64> = (0..2048).map(|i| (i as f64 * 0.001).sin()).collect();
+    c.bench_function("fft1d_1024pt", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| tm_apps::fft::fft1d(&mut d),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_diffs,
+    bench_vc,
+    bench_gm_size,
+    bench_protocol_codec,
+    bench_fft_kernel
+);
+criterion_main!(benches);

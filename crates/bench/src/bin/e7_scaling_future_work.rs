@@ -1,0 +1,91 @@
+//! E7 — §5 future work: "scaling a DSM system to a cluster having 256
+//! nodes".
+//!
+//! The paper closes by asking what it takes to scale past 16 nodes and
+//! suggests pushing synchronization primitives down to the NIC. This
+//! study takes the reproduced system there:
+//!
+//! 1. barrier cost vs cluster size (16 → 128 nodes) on FAST/GM — the
+//!    centralized barrier's linear arrival/release serialization is the
+//!    first scaling wall the paper anticipates;
+//! 2. the same barrier on an *ideal* (zero-latency, zero-overhead)
+//!    substrate — the protocol floor, i.e. what NIC offload could at
+//!    best recover;
+//! 3. Jacobi at a fixed problem size across cluster sizes, showing where
+//!    added nodes stop paying for themselves on each transport.
+
+use std::sync::Arc;
+
+use tm_bench::{print_header, AppSpec};
+use tm_fast::{run_fast_dsm, FastConfig, Transport};
+use tm_sim::runner::NodeOutcome;
+use tm_sim::{Ns, SimParams};
+use tmk::memsub::run_mem_dsm;
+use tmk::{Substrate, Tmk, TmkConfig};
+
+const ROUNDS: u64 = 10;
+
+fn barrier_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
+    tmk.barrier(0); // warmup
+    let t0 = tmk.clock().borrow().now();
+    for k in 1..=ROUNDS {
+        tmk.barrier(k as u32);
+    }
+    (tmk.clock().borrow().now() - t0).0 / ROUNDS
+}
+
+fn avg(v: &[NodeOutcome<u64>]) -> Ns {
+    Ns(v.iter().map(|o| o.result).sum::<u64>() / v.len() as u64)
+}
+
+fn main() {
+    print_header("E7: scaling toward 256 nodes (paper §5, future work)");
+
+    println!();
+    println!("-- centralized barrier vs cluster size --");
+    println!(
+        "{:>6} {:>14} {:>16}",
+        "nodes", "FAST/GM", "ideal network"
+    );
+    for n in [16usize, 32, 64, 128] {
+        let params = Arc::new(SimParams::paper_testbed());
+        let cfg = FastConfig::paper(&params);
+        let fast = run_fast_dsm(n, Arc::clone(&params), cfg, TmkConfig::default(), barrier_body);
+        let ideal = run_mem_dsm(
+            n,
+            params,
+            Ns::ZERO,
+            TmkConfig::default(),
+            barrier_body,
+        );
+        println!(
+            "{n:>6} {:>14} {:>16}",
+            format!("{}", avg(&fast)),
+            format!("{}", avg(&ideal)),
+        );
+    }
+    println!("the gap between the columns is what NIC-offloaded barriers");
+    println!("(the paper's suggestion) could at best recover; the ideal");
+    println!("column's own growth is the centralized algorithm's serial");
+    println!("arrival/release work — past ~64 nodes a tree barrier is due.");
+
+    println!();
+    println!("-- Jacobi 512x512, fixed size, growing cluster --");
+    println!("{:>6} {:>14} {:>14} {:>8}", "nodes", "UDP/GM", "FAST/GM", "factor");
+    let spec = AppSpec::Jacobi(tm_apps::JacobiConfig::new(512, 10));
+    let want = spec.expected();
+    for n in [8usize, 16, 32, 64] {
+        let udp = tm_bench::run_spec_with(Transport::Udp, n, &spec, &want);
+        let fast = tm_bench::run_spec_with(Transport::Fast, n, &spec, &want);
+        println!(
+            "{n:>6} {:>14} {:>14} {:>7.2}x",
+            format!("{udp}"),
+            format!("{fast}"),
+            udp.0 as f64 / fast.0.max(1) as f64
+        );
+    }
+    println!();
+    println!("fixed-size scaling flattens as per-node work shrinks against");
+    println!("synchronization cost — the regime the paper's 256-node goal");
+    println!("must engineer around (NIC primitives, tree barriers).");
+}

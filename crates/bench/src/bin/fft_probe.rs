@@ -1,0 +1,8 @@
+fn main() {
+    let spec = tm_bench::AppSpec::Fft(tm_apps::FftConfig::new(64));
+    for n in [4usize, 16] {
+        let tf = tm_bench::run_spec(tm_fast::Transport::Fast, n, &spec);
+        let tu = tm_bench::run_spec(tm_fast::Transport::Udp, n, &spec);
+        println!("n={n}: fast={tf} udp={tu} factor={:.2}", tu.0 as f64 / tf.0 as f64);
+    }
+}

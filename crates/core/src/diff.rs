@@ -1,0 +1,250 @@
+//! Twins and diffs.
+//!
+//! TreadMarks detects what a processor wrote to a page by comparing the
+//! page against its *twin* (a copy taken at the first write of the
+//! interval) word by word, and encodes the changed runs. Diffs are what
+//! cross the wire instead of whole pages — the Diff microbenchmark of the
+//! paper's Figure 3 times exactly this machinery.
+
+use crate::wire::{WireReader, WireWriter};
+
+/// Comparison granularity, bytes. TreadMarks compares 32-bit words.
+pub const WORD: usize = 4;
+
+/// A run-length-encoded page delta: sorted, non-overlapping runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diff {
+    runs: Vec<(u32, Vec<u8>)>,
+}
+
+impl Diff {
+    /// Compare `twin` (before) and `cur` (after); encode changed runs at
+    /// word granularity. Slices must be the same length.
+    pub fn create(twin: &[u8], cur: &[u8]) -> Diff {
+        assert_eq!(twin.len(), cur.len(), "twin/page size mismatch");
+        let mut runs: Vec<(u32, Vec<u8>)> = Vec::new();
+        let mut i = 0;
+        let n = cur.len();
+        while i < n {
+            let end = (i + WORD).min(n);
+            if twin[i..end] != cur[i..end] {
+                // Start of a changed run; extend word by word.
+                let start = i;
+                while i < n {
+                    let e = (i + WORD).min(n);
+                    if twin[i..e] == cur[i..e] {
+                        break;
+                    }
+                    i = e;
+                }
+                runs.push((start as u32, cur[start..i].to_vec()));
+            } else {
+                i = end;
+            }
+        }
+        Diff { runs }
+    }
+
+    /// An empty diff (no words changed).
+    pub fn empty() -> Diff {
+        Diff { runs: Vec::new() }
+    }
+
+    /// A diff carrying the entire page (used when a whole-page overwrite
+    /// skipped fetching the old content: every word is authoritative).
+    pub fn full(cur: &[u8]) -> Diff {
+        Diff {
+            runs: vec![(0, cur.to_vec())],
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Total payload bytes carried (what the wire pays for).
+    pub fn payload_bytes(&self) -> usize {
+        self.runs.iter().map(|(_, d)| d.len()).sum()
+    }
+
+    /// Encoded size on the wire: header + per-run (offset u16, len u16) +
+    /// payload.
+    pub fn encoded_len(&self) -> usize {
+        2 + self.runs.len() * 4 + self.payload_bytes()
+    }
+
+    /// Overlay the diff onto `target` (the receiving node's copy).
+    pub fn apply(&self, target: &mut [u8]) {
+        for (off, data) in &self.runs {
+            let off = *off as usize;
+            target[off..off + data.len()].copy_from_slice(data);
+        }
+    }
+
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.runs.len() as u16);
+        for (off, data) in &self.runs {
+            w.u16(*off as u16);
+            w.u16(data.len() as u16);
+            w.raw(data);
+        }
+    }
+
+    pub fn decode(r: &mut WireReader) -> Option<Diff> {
+        let n = r.u16()? as usize;
+        let mut runs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let off = r.u16()? as u32;
+            let len = r.u16()? as usize;
+            let data = r.raw_bytes(len)?.to_vec();
+            runs.push((off, data));
+        }
+        Some(Diff { runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(d: &Diff) -> Diff {
+        let mut w = WireWriter::new();
+        d.encode(&mut w);
+        let buf = w.finish();
+        Diff::decode(&mut WireReader::new(&buf)).expect("decode")
+    }
+
+    #[test]
+    fn no_change_is_empty() {
+        let page = vec![7u8; 128];
+        let d = Diff::create(&page, &page);
+        assert!(d.is_empty());
+        assert_eq!(d.encoded_len(), 2);
+    }
+
+    #[test]
+    fn single_word_change() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[8] = 0xFF;
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 4); // whole word
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn adjacent_changes_coalesce() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        for b in cur.iter_mut().take(16).skip(4) {
+            *b = 1;
+        }
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 12);
+    }
+
+    #[test]
+    fn disjoint_changes_make_runs() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[32] = 2;
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(d.run_count(), 2);
+    }
+
+    #[test]
+    fn tail_shorter_than_word() {
+        let twin = vec![0u8; 10]; // 2.5 words
+        let mut cur = twin.clone();
+        cur[9] = 5;
+        let d = Diff::create(&twin, &cur);
+        let mut target = twin.clone();
+        d.apply(&mut target);
+        assert_eq!(target, cur);
+    }
+
+    #[test]
+    fn full_diff_covers_every_word() {
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        let d = Diff::full(&data);
+        assert_eq!(d.run_count(), 1);
+        assert_eq!(d.payload_bytes(), 256);
+        let mut target = vec![0xFFu8; 256];
+        d.apply(&mut target);
+        assert_eq!(target, data);
+    }
+
+    #[test]
+    fn wire_roundtrip_multi_run() {
+        let twin = vec![0u8; 4096];
+        let mut cur = twin.clone();
+        cur[0] = 1;
+        cur[100] = 2;
+        cur[4092] = 3;
+        let d = Diff::create(&twin, &cur);
+        assert_eq!(roundtrip(&d), d);
+    }
+
+    proptest! {
+        /// apply(create(t, c), t) == c — the fundamental diff identity.
+        #[test]
+        fn create_apply_identity(
+            twin in proptest::collection::vec(any::<u8>(), 1..512),
+            flips in proptest::collection::vec((0usize..512, any::<u8>()), 0..32)
+        ) {
+            let mut cur = twin.clone();
+            for (i, v) in flips {
+                let i = i % cur.len();
+                cur[i] = v;
+            }
+            let d = Diff::create(&twin, &cur);
+            let mut target = twin.clone();
+            d.apply(&mut target);
+            prop_assert_eq!(target, cur);
+        }
+
+        /// Encoding roundtrips for arbitrary change patterns.
+        #[test]
+        fn encode_roundtrip(
+            twin in proptest::collection::vec(any::<u8>(), 1..512),
+            flips in proptest::collection::vec((0usize..512, any::<u8>()), 0..32)
+        ) {
+            let mut cur = twin.clone();
+            for (i, v) in flips {
+                let i = i % cur.len();
+                cur[i] = v;
+            }
+            let d = Diff::create(&twin, &cur);
+            prop_assert_eq!(roundtrip(&d), d);
+        }
+
+        /// Sequentially composed diffs replay to the final state.
+        #[test]
+        fn diffs_compose_in_order(
+            base in proptest::collection::vec(any::<u8>(), 64..128),
+            edits1 in proptest::collection::vec((0usize..128, any::<u8>()), 1..16),
+            edits2 in proptest::collection::vec((0usize..128, any::<u8>()), 1..16)
+        ) {
+            let mut v1 = base.clone();
+            for (i, b) in edits1 { let i = i % v1.len(); v1[i] = b; }
+            let mut v2 = v1.clone();
+            for (i, b) in edits2 { let i = i % v2.len(); v2[i] = b; }
+            let d1 = Diff::create(&base, &v1);
+            let d2 = Diff::create(&v1, &v2);
+            let mut replay = base.clone();
+            d1.apply(&mut replay);
+            d2.apply(&mut replay);
+            prop_assert_eq!(replay, v2);
+        }
+    }
+}

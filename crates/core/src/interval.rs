@@ -1,0 +1,252 @@
+//! Interval records and the per-node interval log.
+//!
+//! An *interval* is a stretch of one processor's execution between
+//! synchronization operations. Its record carries the processor, the
+//! interval sequence number (that processor's vector-clock component) and
+//! the write notices: the pages written during the interval. Records
+//! propagate lazily — on lock grants to the acquirer, on barriers through
+//! the manager — and drive page invalidation at the receiver.
+
+use crate::page::PageId;
+use crate::vc::VectorClock;
+use crate::wire::{WireReader, WireWriter};
+
+/// One interval's write notices, plus the vector time at the interval's
+/// end — receivers use it to apply diffs for a page in causal order when
+/// several writers touched the page between two of their synchronizations
+/// (migratory data under locks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalRecord {
+    pub node: u16,
+    pub seq: u32,
+    pub vc: VectorClock,
+    pub pages: Vec<PageId>,
+}
+
+impl IntervalRecord {
+    /// Write notices are encoded as ranges over the sorted page list —
+    /// applications write contiguous spans (grid bands, planes, queue
+    /// slots), so a record listing a thousand pages usually costs eight
+    /// bytes on the wire.
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.node);
+        w.u32(self.seq);
+        self.vc.encode(w);
+        let mut sorted = self.pages.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
+        for p in sorted {
+            match ranges.last_mut() {
+                Some((start, len)) if *start + *len == p => *len += 1,
+                _ => ranges.push((p, 1)),
+            }
+        }
+        w.u32(ranges.len() as u32);
+        for (start, len) in ranges {
+            w.u32(start);
+            w.u32(len);
+        }
+    }
+
+    pub fn decode(r: &mut WireReader) -> Option<IntervalRecord> {
+        let node = r.u16()?;
+        let seq = r.u32()?;
+        let vc = VectorClock::decode(r)?;
+        let nranges = r.u32()? as usize;
+        let mut pages = Vec::new();
+        for _ in 0..nranges {
+            let start = r.u32()?;
+            let len = r.u32()?;
+            pages.extend(start..start + len);
+        }
+        Some(IntervalRecord { node, seq, vc, pages })
+    }
+}
+
+/// Encode a batch of records (u32 count prefix).
+pub fn encode_records(records: &[IntervalRecord], w: &mut WireWriter) {
+    w.u32(records.len() as u32);
+    for rec in records {
+        rec.encode(w);
+    }
+}
+
+pub fn decode_records(r: &mut WireReader) -> Option<Vec<IntervalRecord>> {
+    let n = r.u32()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(IntervalRecord::decode(r)?);
+    }
+    Some(out)
+}
+
+/// A node's log of interval records — everything it knows about everyone,
+/// kept so it can forward the right subset at the next grant or barrier.
+#[derive(Debug, Default)]
+pub struct IntervalLog {
+    /// Per source node, records sorted by `seq`.
+    by_node: Vec<Vec<IntervalRecord>>,
+}
+
+impl IntervalLog {
+    pub fn new(nprocs: usize) -> Self {
+        IntervalLog {
+            by_node: vec![Vec::new(); nprocs],
+        }
+    }
+
+    /// Insert a record if not already present. Returns true if new.
+    pub fn insert(&mut self, rec: IntervalRecord) -> bool {
+        let list = &mut self.by_node[rec.node as usize];
+        match list.binary_search_by_key(&rec.seq, |r| r.seq) {
+            Ok(_) => false,
+            Err(pos) => {
+                list.insert(pos, rec);
+                true
+            }
+        }
+    }
+
+    /// All records strictly newer than `vc` — what a peer with vector time
+    /// `vc` is missing.
+    pub fn newer_than(&self, vc: &VectorClock) -> Vec<IntervalRecord> {
+        let mut out = Vec::new();
+        for (node, list) in self.by_node.iter().enumerate() {
+            let floor = vc.get(node);
+            let start = list.partition_point(|r| r.seq <= floor);
+            out.extend(list[start..].iter().cloned());
+        }
+        out
+    }
+
+    /// Drop records at or below `vc` on every axis — safe once every node
+    /// is known to have incorporated them (barrier-epoch GC).
+    pub fn trim(&mut self, vc: &VectorClock) {
+        for (node, list) in self.by_node.iter_mut().enumerate() {
+            let floor = vc.get(node);
+            list.retain(|r| r.seq > floor);
+        }
+    }
+
+    /// Is `(node, seq)` already recorded?
+    pub fn contains(&self, node: u16, seq: u32) -> bool {
+        self.by_node[node as usize]
+            .binary_search_by_key(&seq, |r| r.seq)
+            .is_ok()
+    }
+
+    pub fn total_records(&self) -> usize {
+        self.by_node.iter().map(|l| l.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u16, seq: u32, pages: &[u32]) -> IntervalRecord {
+        let mut vc = VectorClock::new(4);
+        vc.set(node as usize, seq);
+        IntervalRecord {
+            node,
+            seq,
+            vc,
+            pages: pages.to_vec(),
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let rs = vec![rec(0, 1, &[1, 2, 3]), rec(3, 9, &[])];
+        let mut w = WireWriter::new();
+        encode_records(&rs, &mut w);
+        let buf = w.finish();
+        assert_eq!(decode_records(&mut WireReader::new(&buf)), Some(rs));
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut log = IntervalLog::new(2);
+        assert!(log.insert(rec(0, 1, &[5])));
+        assert!(!log.insert(rec(0, 1, &[5])));
+        assert!(log.insert(rec(0, 2, &[6])));
+        assert_eq!(log.total_records(), 2);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_out_of_order() {
+        let mut log = IntervalLog::new(1);
+        log.insert(rec(0, 3, &[]));
+        log.insert(rec(0, 1, &[]));
+        log.insert(rec(0, 2, &[]));
+        let vc = VectorClock::new(1);
+        let newer = log.newer_than(&vc);
+        let seqs: Vec<u32> = newer.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn newer_than_filters_per_node() {
+        let mut log = IntervalLog::new(2);
+        log.insert(rec(0, 1, &[1]));
+        log.insert(rec(0, 2, &[2]));
+        log.insert(rec(1, 1, &[3]));
+        let mut vc = VectorClock::new(2);
+        vc.set(0, 1);
+        let newer = log.newer_than(&vc);
+        assert_eq!(newer.len(), 2);
+        assert!(newer.iter().any(|r| r.node == 0 && r.seq == 2));
+        assert!(newer.iter().any(|r| r.node == 1 && r.seq == 1));
+    }
+
+    #[test]
+    fn contains_finds_records() {
+        let mut log = IntervalLog::new(2);
+        log.insert(rec(1, 5, &[3]));
+        assert!(log.contains(1, 5));
+        assert!(!log.contains(1, 4));
+        assert!(!log.contains(0, 5));
+    }
+
+    #[test]
+    fn page_ranges_compress_contiguous_spans() {
+        // A record naming 1000 contiguous pages encodes as one range.
+        let pages: Vec<u32> = (100..1100).collect();
+        let r = rec(0, 1, &pages);
+        let mut w = WireWriter::new();
+        r.encode(&mut w);
+        let buf = w.finish();
+        assert!(buf.len() < 64, "RLE should compress: {} bytes", buf.len());
+        let back = IntervalRecord::decode(&mut WireReader::new(&buf)).unwrap();
+        assert_eq!(back.pages, pages);
+    }
+
+    #[test]
+    fn page_ranges_handle_scattered_pages() {
+        let pages = vec![5u32, 1, 9, 3, 7];
+        let r = rec(0, 1, &pages);
+        let mut w = WireWriter::new();
+        r.encode(&mut w);
+        let buf = w.finish();
+        let back = IntervalRecord::decode(&mut WireReader::new(&buf)).unwrap();
+        let mut sorted = pages.clone();
+        sorted.sort_unstable();
+        assert_eq!(back.pages, sorted);
+    }
+
+    #[test]
+    fn trim_garbage_collects() {
+        let mut log = IntervalLog::new(2);
+        log.insert(rec(0, 1, &[]));
+        log.insert(rec(0, 2, &[]));
+        log.insert(rec(1, 5, &[]));
+        let mut vc = VectorClock::new(2);
+        vc.set(0, 1);
+        vc.set(1, 5);
+        log.trim(&vc);
+        assert_eq!(log.total_records(), 1);
+        let rest = log.newer_than(&VectorClock::new(2));
+        assert_eq!(rest[0].seq, 2);
+    }
+}

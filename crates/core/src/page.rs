@@ -1,0 +1,246 @@
+//! Per-page state: the access state machine, twins, pending write notices,
+//! retained diffs.
+
+use crate::diff::Diff;
+use crate::vc::VectorClock;
+
+/// Global page number within the shared address space.
+pub type PageId = u32;
+
+/// The mprotect-equivalent access state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// No local copy has ever been valid: first access fetches the whole
+    /// page from its manager.
+    Unmapped,
+    /// Local copy exists but write notices are pending: access faults and
+    /// fetches diffs.
+    Invalid,
+    /// Clean, readable copy.
+    Read,
+    /// Twin exists; writes are in progress this interval.
+    Write,
+    /// Twin exists *and* notices arrived (concurrent writers / false
+    /// sharing): access fetches diffs, applying them to page and twin.
+    WriteInvalid,
+}
+
+/// A pending (not yet applied) write notice for this page. Carries the
+/// writing interval's vector time so diffs can be applied in causal order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pending {
+    pub node: u16,
+    pub seq: u32,
+    pub vc: VectorClock,
+}
+
+/// One shared page's local bookkeeping.
+#[derive(Debug)]
+pub struct Page {
+    pub state: Access,
+    /// Local copy; empty until first validated.
+    pub data: Vec<u8>,
+    /// Copy taken at first write of the current interval.
+    pub twin: Option<Vec<u8>>,
+    /// Manager (owner of the authoritative initial copy): the allocating
+    /// node.
+    pub manager: u16,
+    /// Highest interval seq per writer whose diff is incorporated locally.
+    pub applied: Vec<u32>,
+    /// Write notices awaiting diff fetch, sorted by (node, seq).
+    pub pending: Vec<Pending>,
+    /// Diffs this node created for this page: (seq, diff), newest last.
+    pub my_diffs: Vec<(u32, Diff)>,
+    /// The current interval overwrote the whole page without fetching its
+    /// old content: the flush must emit a full-page diff so readers that
+    /// causally order our diff last see every word we wrote.
+    pub force_full_diff: bool,
+}
+
+impl Page {
+    pub fn new(nprocs: usize, manager: u16) -> Self {
+        Page {
+            state: Access::Unmapped,
+            data: Vec::new(),
+            twin: None,
+            manager,
+            applied: vec![0; nprocs],
+            pending: Vec::new(),
+            my_diffs: Vec::new(),
+            force_full_diff: false,
+        }
+    }
+
+    /// A freshly allocated page on its manager: valid and zeroed.
+    pub fn new_resident(nprocs: usize, manager: u16, page_size: usize) -> Self {
+        let mut p = Self::new(nprocs, manager);
+        p.data = vec![0; page_size];
+        p.state = Access::Read;
+        p
+    }
+
+    pub fn has_copy(&self) -> bool {
+        !self.data.is_empty()
+    }
+
+    pub fn is_dirty(&self) -> bool {
+        self.twin.is_some()
+    }
+
+    /// Record an incoming write notice. Ignores notices already applied or
+    /// already pending. Transitions the access state.
+    pub fn add_notice(&mut self, node: u16, seq: u32, vc: VectorClock) {
+        if self.applied[node as usize] >= seq {
+            return;
+        }
+        if self.pending.iter().any(|p| p.node == node && p.seq == seq) {
+            return;
+        }
+        self.pending.push(Pending { node, seq, vc });
+        self.pending.sort_by_key(|p| (p.node, p.seq));
+        self.state = match self.state {
+            Access::Unmapped => Access::Unmapped,
+            Access::Write | Access::WriteInvalid => Access::WriteInvalid,
+            _ => Access::Invalid,
+        };
+    }
+
+    /// Mark a pending notice applied.
+    pub fn applied_notice(&mut self, node: u16, seq: u32) {
+        self.applied[node as usize] = self.applied[node as usize].max(seq);
+        self.pending.retain(|p| !(p.node == node && p.seq <= seq));
+    }
+
+    /// The set of writers we still need diffs from, with the lowest and
+    /// highest missing seq for each.
+    pub fn missing_by_writer(&self) -> Vec<(u16, u32, u32)> {
+        let mut out: Vec<(u16, u32, u32)> = Vec::new();
+        for p in &self.pending {
+            match out.iter_mut().find(|(n, _, _)| *n == p.node) {
+                Some((_, lo, hi)) => {
+                    *lo = (*lo).min(p.seq);
+                    *hi = (*hi).max(p.seq);
+                }
+                None => out.push((p.node, p.seq, p.seq)),
+            }
+        }
+        out
+    }
+
+    /// Retain only the most recent `keep` diffs (barrier-epoch GC). Older
+    /// requests are served with a full page instead.
+    pub fn trim_diffs(&mut self, keep: usize) {
+        if self.my_diffs.len() > keep {
+            let cut = self.my_diffs.len() - keep;
+            self.my_diffs.drain(..cut);
+        }
+    }
+
+    /// Diffs with `lo <= seq <= hi`, or `None` if any in that range was
+    /// already garbage collected.
+    pub fn diffs_in(&self, lo: u32, hi: u32) -> Option<Vec<(u32, Diff)>> {
+        let have_lo = self.my_diffs.first().map(|(s, _)| *s);
+        match have_lo {
+            _ if self.my_diffs.is_empty() => {
+                if lo > hi {
+                    Some(Vec::new())
+                } else {
+                    None
+                }
+            }
+            Some(first) if first > lo => None,
+            _ => Some(
+                self.my_diffs
+                    .iter()
+                    .filter(|(s, _)| *s >= lo && *s <= hi)
+                    .cloned()
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc_of(node: u16, seq: u32) -> VectorClock {
+        let mut v = VectorClock::new(4);
+        v.set(node as usize, seq);
+        v
+    }
+
+    fn notice(p: &mut Page, node: u16, seq: u32) {
+        p.add_notice(node, seq, vc_of(node, seq));
+    }
+
+    #[test]
+    fn fresh_pages() {
+        let p = Page::new(4, 2);
+        assert_eq!(p.state, Access::Unmapped);
+        assert!(!p.has_copy());
+        let r = Page::new_resident(4, 2, 4096);
+        assert_eq!(r.state, Access::Read);
+        assert_eq!(r.data.len(), 4096);
+    }
+
+    #[test]
+    fn notice_transitions() {
+        let mut p = Page::new_resident(2, 0, 64);
+        notice(&mut p, 1, 1);
+        assert_eq!(p.state, Access::Invalid);
+        assert_eq!(p.pending.len(), 1);
+        // Dirty page + notice = WriteInvalid (false-sharing case).
+        let mut q = Page::new_resident(2, 0, 64);
+        q.twin = Some(q.data.clone());
+        q.state = Access::Write;
+        notice(&mut q, 1, 1);
+        assert_eq!(q.state, Access::WriteInvalid);
+    }
+
+    #[test]
+    fn duplicate_and_stale_notices_ignored() {
+        let mut p = Page::new_resident(2, 0, 64);
+        p.applied[1] = 5;
+        notice(&mut p, 1, 4); // stale
+        assert!(p.pending.is_empty());
+        assert_eq!(p.state, Access::Read);
+        notice(&mut p, 1, 6);
+        notice(&mut p, 1, 6); // duplicate
+        assert_eq!(p.pending.len(), 1);
+    }
+
+    #[test]
+    fn applied_notice_clears_pending() {
+        let mut p = Page::new_resident(2, 0, 64);
+        notice(&mut p, 1, 1);
+        notice(&mut p, 1, 2);
+        p.applied_notice(1, 2);
+        assert!(p.pending.is_empty());
+        assert_eq!(p.applied[1], 2);
+    }
+
+    #[test]
+    fn missing_by_writer_ranges() {
+        let mut p = Page::new_resident(3, 0, 64);
+        notice(&mut p, 1, 2);
+        notice(&mut p, 1, 4);
+        notice(&mut p, 2, 7);
+        let m = p.missing_by_writer();
+        assert!(m.contains(&(1, 2, 4)));
+        assert!(m.contains(&(2, 7, 7)));
+    }
+
+    #[test]
+    fn diff_retention_and_gc() {
+        let mut p = Page::new_resident(2, 0, 8);
+        for seq in 1..=5 {
+            p.my_diffs.push((seq, Diff::empty()));
+        }
+        assert!(p.diffs_in(2, 4).is_some_and(|v| v.len() == 3));
+        p.trim_diffs(2); // keeps seq 4, 5
+        assert!(p.diffs_in(2, 4).is_none(), "gc'd range must signal None");
+        assert!(p.diffs_in(4, 5).is_some_and(|v| v.len() == 2));
+        assert!(p.diffs_in(5, 4).is_some_and(|v| v.is_empty()));
+    }
+}

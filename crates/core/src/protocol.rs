@@ -1,0 +1,383 @@
+//! Protocol messages: the request/response vocabulary of the DSM runtime.
+//!
+//! Requests travel on the asynchronous channel (they interrupt the peer);
+//! responses on the synchronous one (the requester is blocked). Every
+//! request carries a correlation id `rid` that the response echoes — lock
+//! grants are produced by a *third* node when the manager forwards, so the
+//! id is what ties the grant back to the acquire.
+
+use crate::diff::Diff;
+use crate::interval::{decode_records, encode_records, IntervalRecord};
+use crate::page::PageId;
+use crate::vc::VectorClock;
+use crate::wire::{WireReader, WireWriter};
+
+/// Asynchronous request bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Fetch the sender's diffs for `page` with `lo <= seq <= hi`.
+    Diff { page: PageId, lo: u32, hi: u32 },
+    /// Fetch a whole page from its manager (first touch).
+    Page { page: PageId },
+    /// Acquire `lock`; `vc` is the requester's vector time.
+    Acquire { lock: u32, vc: VectorClock },
+    /// Manager-forwarded acquire: grant directly to `requester`, echoing
+    /// `rid`.
+    AcquireFwd {
+        lock: u32,
+        requester: u16,
+        rid: u32,
+        vc: VectorClock,
+    },
+    /// Barrier arrival with fresh interval records.
+    BarrierArrive {
+        barrier: u32,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+    },
+}
+
+/// Synchronous response bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Diffs for one page, in ascending seq order. May be a partial range
+    /// (chunked to the substrate's max message size) — the requester
+    /// re-requests what's still pending. `covered_hi` is the top of the
+    /// seq range this response settles: every diff of this page the
+    /// writer has with `lo <= seq <= covered_hi` is included (seqs in
+    /// range but absent simply never wrote the page).
+    Diffs {
+        page: PageId,
+        covered_hi: u32,
+        diffs: Vec<(u32, Diff)>,
+    },
+    /// A whole page: the responder's stable copy plus the per-writer seqs
+    /// it incorporates. Also the fallback when requested diffs were
+    /// garbage-collected.
+    FullPage {
+        page: PageId,
+        applied: Vec<u32>,
+        data: Vec<u8>,
+    },
+    /// Lock grant: releaser's vector time plus the interval records the
+    /// requester is missing.
+    Grant {
+        lock: u32,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+    },
+    /// Barrier release: merged vector time plus missing records.
+    BarrierRelease {
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+    },
+    /// A whole page that is entirely zero — no payload needed. Common for
+    /// first-touch fetches of freshly allocated memory.
+    ZeroPage { page: PageId, applied: Vec<u32> },
+}
+
+fn encode_applied(applied: &[u32], w: &mut WireWriter) {
+    w.u16(applied.len() as u16);
+    for &a in applied {
+        w.u32(a);
+    }
+}
+
+fn decode_applied(r: &mut WireReader) -> Option<Vec<u32>> {
+    let n = r.u16()? as usize;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(r.u32()?);
+    }
+    Some(v)
+}
+
+impl Request {
+    /// Encode with the correlation id envelope.
+    pub fn encode(&self, rid: u32) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(64);
+        w.u32(rid);
+        match self {
+            Request::Diff { page, lo, hi } => {
+                w.u8(1).u32(*page).u32(*lo).u32(*hi);
+            }
+            Request::Page { page } => {
+                w.u8(2).u32(*page);
+            }
+            Request::Acquire { lock, vc } => {
+                w.u8(3).u32(*lock);
+                vc.encode(&mut w);
+            }
+            Request::AcquireFwd {
+                lock,
+                requester,
+                rid: orig,
+                vc,
+            } => {
+                w.u8(4).u32(*lock).u16(*requester).u32(*orig);
+                vc.encode(&mut w);
+            }
+            Request::BarrierArrive {
+                barrier,
+                vc,
+                records,
+            } => {
+                w.u8(5).u32(*barrier);
+                vc.encode(&mut w);
+                encode_records(records, &mut w);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode; returns `(rid, request)`.
+    pub fn decode(buf: &[u8]) -> Option<(u32, Request)> {
+        let mut r = WireReader::new(buf);
+        let rid = r.u32()?;
+        let req = match r.u8()? {
+            1 => Request::Diff {
+                page: r.u32()?,
+                lo: r.u32()?,
+                hi: r.u32()?,
+            },
+            2 => Request::Page { page: r.u32()? },
+            3 => Request::Acquire {
+                lock: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+            },
+            4 => Request::AcquireFwd {
+                lock: r.u32()?,
+                requester: r.u16()?,
+                rid: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+            },
+            5 => Request::BarrierArrive {
+                barrier: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+                records: decode_records(&mut r)?,
+            },
+            _ => return None,
+        };
+        Some((rid, req))
+    }
+}
+
+impl Response {
+    pub fn encode(&self, rid: u32) -> Vec<u8> {
+        let mut w = WireWriter::with_capacity(128);
+        w.u32(rid);
+        match self {
+            Response::Diffs {
+                page,
+                covered_hi,
+                diffs,
+            } => {
+                w.u8(1).u32(*page).u32(*covered_hi).u16(diffs.len() as u16);
+                for (seq, d) in diffs {
+                    w.u32(*seq);
+                    d.encode(&mut w);
+                }
+            }
+            Response::FullPage {
+                page,
+                applied,
+                data,
+            } => {
+                w.u8(2).u32(*page);
+                encode_applied(applied, &mut w);
+                w.bytes(data);
+            }
+            Response::Grant { lock, vc, records } => {
+                w.u8(3).u32(*lock);
+                vc.encode(&mut w);
+                encode_records(records, &mut w);
+            }
+            Response::BarrierRelease { vc, records } => {
+                w.u8(4);
+                vc.encode(&mut w);
+                encode_records(records, &mut w);
+            }
+            Response::ZeroPage { page, applied } => {
+                w.u8(5).u32(*page);
+                encode_applied(applied, &mut w);
+            }
+        }
+        w.finish()
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<(u32, Response)> {
+        let mut r = WireReader::new(buf);
+        let rid = r.u32()?;
+        let resp = match r.u8()? {
+            1 => {
+                let page = r.u32()?;
+                let covered_hi = r.u32()?;
+                let n = r.u16()? as usize;
+                let mut diffs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let seq = r.u32()?;
+                    diffs.push((seq, Diff::decode(&mut r)?));
+                }
+                Response::Diffs {
+                    page,
+                    covered_hi,
+                    diffs,
+                }
+            }
+            2 => Response::FullPage {
+                page: r.u32()?,
+                applied: decode_applied(&mut r)?,
+                data: r.bytes()?.to_vec(),
+            },
+            3 => Response::Grant {
+                lock: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+                records: decode_records(&mut r)?,
+            },
+            4 => Response::BarrierRelease {
+                vc: VectorClock::decode(&mut r)?,
+                records: decode_records(&mut r)?,
+            },
+            5 => Response::ZeroPage {
+                page: r.u32()?,
+                applied: decode_applied(&mut r)?,
+            },
+            _ => return None,
+        };
+        Some((rid, resp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vc(vals: &[u32]) -> VectorClock {
+        let mut v = VectorClock::new(vals.len());
+        for (i, &x) in vals.iter().enumerate() {
+            v.set(i, x);
+        }
+        v
+    }
+
+    fn rec(node: u16, seq: u32, vcv: &[u32], pages: &[u32]) -> IntervalRecord {
+        IntervalRecord {
+            node,
+            seq,
+            vc: vc(vcv),
+            pages: pages.to_vec(),
+        }
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        let cases = vec![
+            Request::Diff {
+                page: 42,
+                lo: 1,
+                hi: 7,
+            },
+            Request::Page { page: 9 },
+            Request::Acquire {
+                lock: 3,
+                vc: vc(&[1, 2, 3]),
+            },
+            Request::AcquireFwd {
+                lock: 3,
+                requester: 2,
+                rid: 77,
+                vc: vc(&[0, 5]),
+            },
+            Request::BarrierArrive {
+                barrier: 1,
+                vc: vc(&[4, 4]),
+                records: vec![rec(0, 4, &[4, 0], &[1, 2])],
+            },
+        ];
+        for (i, req) in cases.into_iter().enumerate() {
+            let buf = req.encode(i as u32);
+            let (rid, back) = Request::decode(&buf).expect("decode");
+            assert_eq!(rid, i as u32);
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[5] = 9;
+        let d = Diff::create(&twin, &cur);
+        let cases = vec![
+            Response::Diffs {
+                page: 1,
+                covered_hi: 4,
+                diffs: vec![(3, d.clone()), (4, Diff::empty())],
+            },
+            Response::FullPage {
+                page: 2,
+                applied: vec![1, 0, 7],
+                data: vec![9u8; 128],
+            },
+            Response::Grant {
+                lock: 5,
+                vc: vc(&[2, 2]),
+                records: vec![rec(1, 2, &[0, 2], &[8])],
+            },
+            Response::BarrierRelease {
+                vc: vc(&[3, 3, 3]),
+                records: vec![],
+            },
+        ];
+        for (i, resp) in cases.into_iter().enumerate() {
+            let buf = resp.encode(100 + i as u32);
+            let (rid, back) = Response::decode(&buf).expect("decode");
+            assert_eq!(rid, 100 + i as u32);
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn zero_page_roundtrips() {
+        let resp = Response::ZeroPage {
+            page: 42,
+            applied: vec![3, 0, 9, 1],
+        };
+        let buf = resp.encode(7);
+        assert!(buf.len() < 32, "zero page must be compact");
+        assert_eq!(Response::decode(&buf), Some((7, resp)));
+    }
+
+    #[test]
+    fn covered_hi_travels_with_diffs() {
+        let resp = Response::Diffs {
+            page: 3,
+            covered_hi: 99,
+            diffs: vec![],
+        };
+        let buf = resp.encode(1);
+        match Response::decode(&buf) {
+            Some((1, Response::Diffs { covered_hi, diffs, .. })) => {
+                assert_eq!(covered_hi, 99);
+                assert!(diffs.is_empty());
+            }
+            other => panic!("bad decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert!(Request::decode(&[1, 2, 3]).is_none());
+        assert!(Response::decode(&[0, 0, 0, 0, 99]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn diff_request_roundtrip_any(page: u32, lo: u32, hi: u32, rid: u32) {
+            let req = Request::Diff { page, lo, hi };
+            let buf = req.encode(rid);
+            prop_assert_eq!(Request::decode(&buf), Some((rid, req)));
+        }
+    }
+}

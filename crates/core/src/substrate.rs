@@ -1,0 +1,83 @@
+//! The transport abstraction the DSM runtime binds to.
+//!
+//! The paper's Figure 1 divides TreadMarks' communication needs into three
+//! groups: sending requests (asynchronous at the receiver), sending
+//! responses, and receiving responses (synchronous at the requester). A
+//! [`Substrate`] provides exactly those services; FAST/GM and UDP/GM are
+//! the two implementations under evaluation, and [`crate::memsub`]
+//! provides an idealized in-memory one for protocol tests and "infinitely
+//! fast network" ablations.
+//!
+//! The binding is a generic parameter of [`crate::Tmk`], monomorphized at
+//! compile time — the paper's "bound to TreadMarks at compile time", with
+//! zero dispatch overhead.
+
+use std::sync::Arc;
+
+use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
+
+/// Which logical channel a message arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chan {
+    /// Asynchronous: interrupts (or signals) the receiver.
+    Request,
+    /// Synchronous: the receiver is blocked waiting for it.
+    Response,
+}
+
+/// A message delivered by the substrate.
+#[derive(Debug)]
+pub struct IncomingMsg {
+    pub from: usize,
+    pub chan: Chan,
+    pub data: Vec<u8>,
+    /// Virtual arrival time at this node.
+    pub arrival: Ns,
+}
+
+/// A request/response transport for one node. Implementations own the
+/// node's clock charging for their own operations.
+pub trait Substrate {
+    fn my_id(&self) -> usize;
+    fn nprocs(&self) -> usize;
+    fn clock(&self) -> &SharedClock;
+    fn params(&self) -> &Arc<SimParams>;
+
+    /// How asynchronous requests reach the application on this transport
+    /// (NIC interrupt for FAST/GM, SIGIO for UDP, …).
+    fn scheme(&self) -> AsyncScheme;
+
+    /// Send an asynchronous request; charges the clock for the send path.
+    fn send_request(&mut self, to: usize, data: &[u8]);
+
+    /// Send a request from *inside a request handler* whose service window
+    /// completed at virtual time `at` (lock-manager forwarding). Like
+    /// [`send_response_at`](Substrate::send_response_at), does not charge
+    /// the clock.
+    fn send_request_at(&mut self, to: usize, data: &[u8], at: Ns);
+
+    /// Host-side cost of emitting a response of `len` bytes. The runtime
+    /// folds this into the request's service duration before calling
+    /// [`send_response_at`](Substrate::send_response_at).
+    fn response_cost(&self, len: usize) -> Ns;
+
+    /// Send a response whose service (handler + send) completed at virtual
+    /// time `at`. Does **not** charge the clock — the runtime already
+    /// accounted the work via the service window (which may lie in the
+    /// node's past: retroactive interrupt preemption).
+    fn send_response_at(&mut self, to: usize, data: &[u8], at: Ns);
+
+    /// Non-blocking: a request whose arrival is at or before the node's
+    /// current virtual time, if any.
+    fn poll_request(&mut self) -> Option<IncomingMsg>;
+
+    /// Block until any request or response arrives. Advances the clock to
+    /// the message's arrival when the node was idle-waiting.
+    fn next_incoming(&mut self) -> IncomingMsg;
+
+    /// Largest message the substrate can carry in one piece. The runtime
+    /// chunks diff responses to fit.
+    fn max_msg(&self) -> usize {
+        self.params().dsm.max_msg
+    }
+}

@@ -1,0 +1,1279 @@
+//! The Tmk runtime: the TreadMarks API over a [`Substrate`].
+//!
+//! One `Tmk` lives in each node thread. The API mirrors TreadMarks':
+//! `malloc`/`distribute`, `barrier`, lock `acquire`/`release`, plus the
+//! byte/typed accessors that stand in for direct loads and stores (they
+//! drive the page-fault state machine an mprotect build would).
+//!
+//! All protocol work is costed through the node's virtual clock; handler
+//! work triggered by peers' asynchronous requests goes through
+//! [`tm_sim::NodeClock::service_window`], which models interrupt
+//! preemption — including retroactively, when the request arrived while
+//! this node was computing.
+
+use std::collections::VecDeque;
+
+use tm_sim::{Ns, SharedClock, SimParams};
+
+use crate::diff::Diff;
+use crate::interval::{IntervalLog, IntervalRecord};
+use crate::page::{Access, Page, PageId, Pending};
+use crate::protocol::{Request, Response};
+use crate::substrate::{Chan, Substrate};
+use crate::vc::VectorClock;
+
+/// Handle to a shared allocation (returned by [`Tmk::malloc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedId(pub usize);
+
+/// Runtime tunables.
+#[derive(Debug, Clone)]
+pub struct TmkConfig {
+    /// Diffs retained per page before GC falls back to full-page serves.
+    pub diff_keep: usize,
+    /// Which node runs barriers.
+    pub barrier_manager: u16,
+}
+
+impl Default for TmkConfig {
+    fn default() -> Self {
+        TmkConfig {
+            diff_keep: 256,
+            barrier_manager: 0,
+        }
+    }
+}
+
+struct RegionInfo {
+    start_page: usize,
+    len: usize,
+}
+
+struct LockState {
+    /// Manager's record of who holds (or will next hold) the token.
+    owner_hint: u16,
+    have_token: bool,
+    busy: bool,
+    /// Requests waiting for our release: (requester, rid, their vc).
+    waiting: VecDeque<(u16, u32, VectorClock)>,
+}
+
+struct BarrierEpisode {
+    arrived: Vec<bool>,
+    /// Client rid + vector time at arrival, per node.
+    clients: Vec<Option<(u32, VectorClock)>>,
+    count: usize,
+    /// Barrier id of this episode — mismatched ids are a program error
+    /// (different nodes waiting at different barriers) and panic loudly
+    /// instead of deadlocking.
+    id: Option<u32>,
+    /// Records collected from arrivals, noticed at departure (the manager
+    /// must not invalidate its own pages before it reaches the barrier).
+    records: Vec<IntervalRecord>,
+}
+
+impl BarrierEpisode {
+    fn new(n: usize) -> Self {
+        BarrierEpisode {
+            arrived: vec![false; n],
+            clients: vec![None; n],
+            count: 0,
+            id: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+/// The per-node DSM runtime.
+pub struct Tmk<S: Substrate> {
+    sub: S,
+    me: u16,
+    n: usize,
+    vc: VectorClock,
+    log: IntervalLog,
+    pages: Vec<Page>,
+    /// Pages handed out by collective `malloc`s so far (the page table in
+    /// `pages` may extend further: peers can race ahead of our own malloc
+    /// and fault pages we haven't formally allocated yet — the layout is
+    /// deterministic, so we materialize them on demand).
+    allocated_pages: usize,
+    regions: Vec<RegionInfo>,
+    /// Pages twinned in the current (open) interval.
+    dirty: Vec<PageId>,
+    locks: Vec<LockState>,
+    barrier: BarrierEpisode,
+    last_barrier_vc: VectorClock,
+    next_rid: u32,
+    cfg: TmkConfig,
+    page_size: usize,
+}
+
+macro_rules! trace {
+    ($self:expr, $($arg:tt)*) => {
+        if std::env::var_os("TMK_TRACE").is_some() {
+            eprintln!("[n{} t{}] {}", $self.me, $self.clock().borrow().now(), format!($($arg)*));
+        }
+    };
+}
+
+impl<S: Substrate> Tmk<S> {
+    pub fn new(sub: S, cfg: TmkConfig) -> Self {
+        let n = sub.nprocs();
+        let me = sub.my_id() as u16;
+        let page_size = sub.params().dsm.page_size;
+        Tmk {
+            sub,
+            me,
+            n,
+            vc: VectorClock::new(n),
+            log: IntervalLog::new(n),
+            pages: Vec::new(),
+            allocated_pages: 0,
+            regions: Vec::new(),
+            dirty: Vec::new(),
+            locks: Vec::new(),
+            barrier: BarrierEpisode::new(n),
+            last_barrier_vc: VectorClock::new(n),
+            next_rid: 1,
+            cfg,
+            page_size,
+        }
+    }
+
+    pub fn proc_id(&self) -> usize {
+        self.me as usize
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    pub fn clock(&self) -> &SharedClock {
+        self.sub.clock()
+    }
+
+    pub fn params(&self) -> &std::sync::Arc<SimParams> {
+        self.sub.params()
+    }
+
+    /// Charge `units` of application computation (interruptible).
+    pub fn compute(&mut self, units: u64) {
+        let cost = self.sub.params().work(units);
+        self.clock().borrow_mut().compute(cost);
+    }
+
+    /// Charge an explicit computation duration (interruptible).
+    pub fn compute_ns(&mut self, d: Ns) {
+        self.clock().borrow_mut().compute(d);
+    }
+
+    // ----- allocation ----------------------------------------------------
+
+    /// Collective: every node must call with the same sizes in the same
+    /// order (this is how TreadMarks programs use `Tmk_malloc` before
+    /// `Tmk_distribute`). Page managers are assigned round-robin across
+    /// the processors (as in TreadMarks); each page starts resident
+    /// (zeroed) on its manager and unmapped elsewhere.
+    pub fn malloc(&mut self, len: usize) -> SharedId {
+        assert!(len > 0, "zero-length shared allocation");
+        let npages = len.div_ceil(self.page_size);
+        let start_page = self.allocated_pages;
+        self.allocated_pages += npages;
+        self.ensure_pages(start_page + npages);
+        self.regions.push(RegionInfo { start_page, len });
+        SharedId(self.regions.len() - 1)
+    }
+
+    /// Materialize page-table entries up to `upto` (exclusive).
+    fn ensure_pages(&mut self, upto: usize) {
+        while self.pages.len() < upto {
+            let idx = self.pages.len();
+            let manager = (idx % self.n) as u16;
+            let page = if self.me == manager {
+                Page::new_resident(self.n, manager, self.page_size)
+            } else {
+                Page::new(self.n, manager)
+            };
+            self.pages.push(page);
+        }
+    }
+
+    /// API-fidelity no-op: in TreadMarks, `Tmk_distribute` ships the
+    /// shared pointer to the other processes; our collective `malloc`
+    /// already agrees on ids.
+    pub fn distribute(&mut self, _id: SharedId) {}
+
+    /// Bytes in a region.
+    pub fn region_len(&self, id: SharedId) -> usize {
+        self.regions[id.0].len
+    }
+
+    fn page_of(&self, id: SharedId, off: usize) -> PageId {
+        let r = &self.regions[id.0];
+        assert!(off < r.len, "offset {off} outside region of {} bytes", r.len);
+        (r.start_page + off / self.page_size) as PageId
+    }
+
+    // ----- interval machinery ---------------------------------------------
+
+    /// Close the current interval if it wrote anything: create diffs from
+    /// twins, emit the interval record. Returns the modeled cost (caller
+    /// charges it into the right accounting context).
+    fn flush_interval(&mut self) -> Ns {
+        if self.dirty.is_empty() {
+            return Ns::ZERO;
+        }
+        let params = self.sub.params().clone();
+        let seq = self.vc.tick(self.me as usize);
+        let mut cost = Ns::ZERO;
+        let mut pages_written = Vec::with_capacity(self.dirty.len());
+        let dirty = std::mem::take(&mut self.dirty);
+        for pid in dirty {
+            let page = &mut self.pages[pid as usize];
+            let twin = page.twin.take().expect("dirty page without twin");
+            let d = if page.force_full_diff {
+                page.force_full_diff = false;
+                Diff::full(&page.data)
+            } else {
+                Diff::create(&twin, &page.data)
+            };
+            cost += Ns::for_bytes(self.page_size, params.dsm.diff_scan_mb_s)
+                + params.dsm.diff_overhead
+                + params.dsm.mprotect;
+            page.my_diffs.push((seq, d));
+            page.trim_diffs(self.cfg.diff_keep);
+            page.applied[self.me as usize] = seq;
+            page.state = match page.state {
+                Access::WriteInvalid => Access::Invalid,
+                _ => Access::Read,
+            };
+            pages_written.push(pid);
+            self.clock().borrow_mut().stats.diffs_created += 1;
+        }
+        let rec = IntervalRecord {
+            node: self.me,
+            seq,
+            vc: self.vc.clone(),
+            pages: pages_written,
+        };
+        trace!(self, "flush seq={} pages={:?}", seq, rec.pages);
+        self.log.insert(rec);
+        cost
+    }
+
+    /// Incorporate interval records learned from a grant or release:
+    /// insert into the log and invalidate the named pages.
+    fn apply_records(&mut self, records: Vec<IntervalRecord>) -> Ns {
+        let mut fresh = Vec::new();
+        for rec in records {
+            trace!(self, "record n{} seq={} pages={:?}", rec.node, rec.seq, rec.pages);
+            if self.log.insert(rec.clone()) {
+                fresh.push(rec);
+            } else {
+                trace!(self, "record n{} seq={} already known", rec.node, rec.seq);
+            }
+        }
+        self.notice_records(&fresh)
+    }
+
+    /// Invalidate pages named by `records`' write notices.
+    fn notice_records(&mut self, records: &[IntervalRecord]) -> Ns {
+        let mprotect = self.sub.params().dsm.mprotect;
+        let mut cost = Ns::ZERO;
+        for rec in records {
+            if rec.node == self.me {
+                continue;
+            }
+            if let Some(&max_pid) = rec.pages.iter().max() {
+                self.ensure_pages(max_pid as usize + 1);
+            }
+            for &pid in &rec.pages {
+                let page = &mut self.pages[pid as usize];
+                let before = page.state;
+                page.add_notice(rec.node, rec.seq, rec.vc.clone());
+                if page.state != before {
+                    cost += mprotect;
+                }
+            }
+        }
+        cost
+    }
+
+    // ----- request service -------------------------------------------------
+
+    fn rid(&mut self) -> u32 {
+        let r = self.next_rid;
+        self.next_rid += 1;
+        r
+    }
+
+    /// Service one incoming request. `arrival` drives the interrupt
+    /// preemption model.
+    fn serve(&mut self, from: usize, data: &[u8], arrival: Ns) {
+        let (rid, req) = Request::decode(data).expect("malformed request");
+        trace!(self, "serve from={from} rid={rid} req={req:?}");
+        let params = self.sub.params().clone();
+        let mut cost = params.dsm.handler_dispatch;
+        match req {
+            Request::Diff { page, lo, hi } => {
+                self.ensure_pages(page as usize + 1);
+                let (resp, c) = self.make_diff_response(page, lo, hi);
+                cost += c;
+                self.respond(from, rid, resp, arrival, cost);
+            }
+            Request::Page { page } => {
+                self.ensure_pages(page as usize + 1);
+                let (resp, c) = self.make_page_response(page);
+                cost += c;
+                self.respond(from, rid, resp, arrival, cost);
+            }
+            Request::Acquire { lock, vc } => {
+                self.ensure_lock(lock);
+                debug_assert_eq!(self.lock_manager(lock), self.me, "acquire sent to non-manager");
+                let ls = &mut self.locks[lock as usize];
+                if ls.owner_hint == self.me {
+                    if ls.have_token && !ls.busy {
+                        // Direct grant: manager holds a free token.
+                        let (resp, c) = self.make_grant(lock, &vc);
+                        cost += c;
+                        let ls = &mut self.locks[lock as usize];
+                        ls.have_token = false;
+                        ls.owner_hint = from as u16;
+                        self.respond(from, rid, resp, arrival, cost);
+                    } else {
+                        // We hold it busy (or the token is en route to us):
+                        // grant at release.
+                        ls.waiting.push_back((from as u16, rid, vc));
+                        ls.owner_hint = from as u16;
+                        self.charge_service(arrival, cost);
+                    }
+                } else {
+                    // Forward to the current owner; requester stays blocked.
+                    let owner = ls.owner_hint as usize;
+                    ls.owner_hint = from as u16;
+                    let fwd = Request::AcquireFwd {
+                        lock,
+                        requester: from as u16,
+                        rid,
+                        vc,
+                    };
+                    let fwd_rid = self.rid();
+                    let buf = fwd.encode(fwd_rid);
+                    cost += self.sub.response_cost(buf.len());
+                    let finish = self.charge_service(arrival, cost);
+                    self.sub.send_request_at(owner, &buf, finish);
+                }
+            }
+            Request::AcquireFwd {
+                lock,
+                requester,
+                rid: orig_rid,
+                vc,
+            } => {
+                self.ensure_lock(lock);
+                let ls = &mut self.locks[lock as usize];
+                if ls.have_token && !ls.busy {
+                    let (resp, c) = self.make_grant(lock, &vc);
+                    cost += c;
+                    self.locks[lock as usize].have_token = false;
+                    self.respond(requester as usize, orig_rid, resp, arrival, cost);
+                } else {
+                    ls.waiting.push_back((requester, orig_rid, vc));
+                    self.charge_service(arrival, cost);
+                }
+            }
+            Request::BarrierArrive {
+                barrier,
+                vc,
+                records,
+            } => {
+                debug_assert_eq!(self.cfg.barrier_manager, self.me);
+                match self.barrier.id {
+                    None => self.barrier.id = Some(barrier),
+                    Some(b) => assert_eq!(
+                        b, barrier,
+                        "barrier mismatch: node {from} arrived at {barrier}, episode is {b}"
+                    ),
+                }
+                cost += Ns(200 * records.len() as u64);
+                // Stash — the manager must not incorporate arrivals'
+                // intervals (records OR vector time) before its own
+                // departure: doing so would make its interim lock grants
+                // claim coverage of write notices it never forwarded.
+                for rec in records {
+                    let stashed = self
+                        .barrier
+                        .records
+                        .iter()
+                        .any(|r| r.node == rec.node && r.seq == rec.seq);
+                    if !stashed && !self.log.contains(rec.node, rec.seq) {
+                        self.barrier.records.push(rec);
+                    }
+                }
+                if !self.barrier.arrived[from] {
+                    self.barrier.arrived[from] = true;
+                    self.barrier.count += 1;
+                }
+                self.barrier.clients[from] = Some((rid, vc.clone()));
+                self.charge_service(arrival, cost);
+            }
+        }
+    }
+
+    /// Charge the service window for a request with no (immediate)
+    /// response; returns the service completion time.
+    fn charge_service(&mut self, arrival: Ns, cost: Ns) -> Ns {
+        let scheme = self.sub.scheme();
+        self.clock()
+            .borrow_mut()
+            .service_window(arrival, &scheme, cost)
+    }
+
+    /// Charge the service window and emit the response at its completion.
+    fn respond(&mut self, to: usize, rid: u32, resp: Response, arrival: Ns, mut cost: Ns) {
+        let buf = resp.encode(rid);
+        cost += self.sub.response_cost(buf.len());
+        let finish = self.charge_service(arrival, cost);
+        self.sub.send_response_at(to, &buf, finish);
+    }
+
+    fn make_diff_response(&mut self, pid: PageId, lo: u32, hi: u32) -> (Response, Ns) {
+        let params = self.sub.params().clone();
+        let max = self.sub.max_msg();
+        let page = &self.pages[pid as usize];
+        match page.diffs_in(lo, hi) {
+            Some(all) => {
+                // Chunk to the substrate's message limit; the requester
+                // re-requests the remainder.
+                let total = all.len();
+                let mut out = Vec::new();
+                let mut sz = 16usize;
+                let mut cost = Ns::ZERO;
+                for (seq, d) in all {
+                    let dl = d.encoded_len() + 4;
+                    if !out.is_empty() && sz + dl > max {
+                        break;
+                    }
+                    sz += dl;
+                    cost += params.dsm.diff_overhead
+                        + Ns::for_bytes(d.payload_bytes(), params.host.memcpy_mb_s);
+                    out.push((seq, d));
+                }
+                // Everything fit: the whole range is settled; truncated:
+                // settled up to the last included diff.
+                let covered_hi = if out.len() == total {
+                    hi
+                } else {
+                    out.last().map(|(s, _)| *s).unwrap_or(lo)
+                };
+                (
+                    Response::Diffs {
+                        page: pid,
+                        covered_hi,
+                        diffs: out,
+                    },
+                    cost,
+                )
+            }
+            None => {
+                // Requested diffs were GC'd: fall back to a full page.
+                let (resp, cost) = self.full_page_of(pid);
+                (resp, cost)
+            }
+        }
+    }
+
+    fn make_page_response(&mut self, pid: PageId) -> (Response, Ns) {
+        self.full_page_of(pid)
+    }
+
+    /// The stable copy of a page (the twin if the current interval is
+    /// writing it) plus its applied vector. All-zero pages (freshly
+    /// allocated memory on first touch) travel as a compact marker.
+    fn full_page_of(&self, pid: PageId) -> (Response, Ns) {
+        let params = self.sub.params();
+        let page = &self.pages[pid as usize];
+        assert!(
+            page.has_copy(),
+            "node {} asked for page {pid} it never held",
+            self.me
+        );
+        let stable = page.twin.as_deref().unwrap_or(&page.data);
+        let scan = Ns::for_bytes(stable.len(), params.dsm.diff_scan_mb_s);
+        if stable.iter().all(|&b| b == 0) {
+            return (
+                Response::ZeroPage {
+                    page: pid,
+                    applied: page.applied.clone(),
+                },
+                scan,
+            );
+        }
+        let cost = scan + Ns::for_bytes(stable.len(), params.host.memcpy_mb_s);
+        (
+            Response::FullPage {
+                page: pid,
+                applied: page.applied.clone(),
+                data: stable.to_vec(),
+            },
+            cost,
+        )
+    }
+
+    fn make_grant(&mut self, lock: u32, rvc: &VectorClock) -> (Response, Ns) {
+        let flush_cost = self.flush_interval();
+        let records = self.log.newer_than(rvc);
+        trace!(self, "grant lock={} rvc={:?} records={:?}", lock, rvc, records.iter().map(|r| (r.node, r.seq)).collect::<Vec<_>>());
+        let cost = flush_cost + Ns(200 * records.len() as u64);
+        (
+            Response::Grant {
+                lock,
+                vc: self.vc.clone(),
+                records,
+            },
+            cost,
+        )
+    }
+
+    // ----- synchronous RPC --------------------------------------------------
+
+    /// Send a request and block for its response, servicing peers'
+    /// requests while waiting (the TreadMarks SIGIO discipline).
+    fn rpc(&mut self, to: usize, req: Request) -> Response {
+        let rid = self.rid();
+        trace!(self, "rpc to={to} rid={rid} req={req:?}");
+        let buf = req.encode(rid);
+        self.sub.send_request(to, &buf);
+        self.clock().borrow_mut().begin_wait();
+        loop {
+            let msg = self.sub.next_incoming();
+            match msg.chan {
+                Chan::Response => {
+                    let (got_rid, resp) =
+                        Response::decode(&msg.data).expect("malformed response");
+                    assert_eq!(
+                        got_rid, rid,
+                        "node {}: response correlation mismatch",
+                        self.me
+                    );
+                    return resp;
+                }
+                Chan::Request => {
+                    self.serve(msg.from, &msg.data, msg.arrival);
+                    self.clock().borrow_mut().begin_wait();
+                }
+            }
+        }
+    }
+
+    /// Service any requests that have already arrived (called at natural
+    /// application boundaries; with interrupts the service window still
+    /// starts at the request's arrival, preempting retroactively).
+    pub fn poll_serve(&mut self) {
+        while let Some(msg) = self.sub.poll_request() {
+            self.serve(msg.from, &msg.data, msg.arrival);
+        }
+    }
+
+    // ----- faults -----------------------------------------------------------
+
+    fn ensure_readable(&mut self, pid: PageId) {
+        match self.pages[pid as usize].state {
+            Access::Read | Access::Write => {}
+            Access::Unmapped => {
+                let fault = self.sub.params().dsm.page_fault;
+                self.clock().borrow_mut().advance(fault);
+                self.clock().borrow_mut().stats.page_faults += 1;
+                self.fetch_page(pid);
+                self.fetch_pending_diffs(pid);
+            }
+            Access::Invalid | Access::WriteInvalid => {
+                let fault = self.sub.params().dsm.page_fault;
+                self.clock().borrow_mut().advance(fault);
+                self.clock().borrow_mut().stats.page_faults += 1;
+                self.fetch_pending_diffs(pid);
+            }
+        }
+    }
+
+    fn ensure_writable(&mut self, pid: PageId) {
+        self.ensure_readable(pid);
+        let params = self.sub.params().clone();
+        let page = &mut self.pages[pid as usize];
+        if page.state == Access::Read {
+            // Write fault: twin the page.
+            page.twin = Some(page.data.clone());
+            page.state = Access::Write;
+            self.dirty.push(pid);
+            let mut c = self.clock().borrow_mut();
+            c.advance(
+                params.dsm.page_fault
+                    + params.dsm.mprotect
+                    + params.dsm.twin_overhead
+                    + Ns::for_bytes(self.page_size, params.host.memcpy_mb_s),
+            );
+            c.stats.page_faults += 1;
+            c.stats.twins_created += 1;
+        }
+    }
+
+    /// First touch: fetch the whole page from its manager.
+    fn fetch_page(&mut self, pid: PageId) {
+        let manager = self.pages[pid as usize].manager as usize;
+        assert_ne!(manager, self.me as usize, "manager pages are resident");
+        let resp = self.rpc(manager, Request::Page { page: pid });
+        match resp {
+            Response::FullPage { page, applied, data } => {
+                assert_eq!(page, pid);
+                self.adopt_full_page(pid, applied, data);
+                self.clock().borrow_mut().stats.pages_fetched += 1;
+            }
+            Response::ZeroPage { page, applied } => {
+                assert_eq!(page, pid);
+                let zeros = vec![0u8; self.page_size];
+                self.adopt_full_page(pid, applied, zeros);
+                self.clock().borrow_mut().stats.pages_fetched += 1;
+            }
+            other => panic!("expected FullPage, got {other:?}"),
+        }
+    }
+
+    /// Merge a received full page into local state, preserving our own
+    /// uncommitted writes if any.
+    ///
+    /// The responder's copy can be *behind* us on some writers' axes (its
+    /// `applied[v]` below ours): adopting it wholesale would regress those
+    /// writers' words. We repair: our own newer flushed intervals are
+    /// replayed from `my_diffs`, and deficits on other axes are re-queued
+    /// as pending notices so the normal diff fetch re-applies them (their
+    /// synthetic vector time makes them sort before anything causally
+    /// newer; concurrent repairs touch disjoint words in race-free
+    /// programs).
+    fn adopt_full_page(&mut self, pid: PageId, applied: Vec<u32>, data: Vec<u8>) {
+        let params = self.sub.params().clone();
+        let mut cost = Ns::for_bytes(data.len(), params.host.memcpy_mb_s) + params.dsm.mprotect;
+        let me = self.me as usize;
+        let n = self.n;
+        let page = &mut self.pages[pid as usize];
+        let old_applied = page.applied.clone();
+        if let Some(twin) = page.twin.take() {
+            // We hold uncommitted writes: replay them on the new base.
+            let own = Diff::create(&twin, &page.data);
+            cost += Ns::for_bytes(self.page_size, params.dsm.diff_scan_mb_s);
+            page.data = data.clone();
+            let mut new_twin = data;
+            new_twin.truncate(self.page_size);
+            page.twin = Some(new_twin);
+            own.apply(&mut page.data);
+        } else {
+            page.data = data;
+        }
+        // Adopt the responder's view…
+        page.applied = applied;
+        // …then repair our own axis from locally retained diffs.
+        if old_applied[me] > page.applied[me] {
+            let lo = page.applied[me];
+            for (seq, d) in page.my_diffs.clone() {
+                if seq > lo && seq <= old_applied[me] {
+                    d.apply(&mut page.data);
+                    if let Some(t) = page.twin.as_mut() {
+                        d.apply(t);
+                    }
+                    cost += params.dsm.diff_overhead;
+                }
+            }
+            page.applied[me] = old_applied[me];
+        }
+        // Repair deficits on other axes by re-queuing pending notices
+        // (fetched and applied by the ongoing fault).
+        for (v, &old) in old_applied.iter().enumerate() {
+            if v == me {
+                continue;
+            }
+            if old > page.applied[v] {
+                for seq in page.applied[v] + 1..=old {
+                    let mut vcv = crate::vc::VectorClock::new(n);
+                    vcv.set(v, seq);
+                    page.add_notice(v as u16, seq, vcv);
+                }
+            }
+        }
+        let applied_now = page.applied.clone();
+        page.pending
+            .retain(|p| p.seq > applied_now[p.node as usize]);
+        page.state = match (page.twin.is_some(), page.pending.is_empty()) {
+            (true, true) => Access::Write,
+            (true, false) => Access::WriteInvalid,
+            (false, true) => Access::Read,
+            (false, false) => Access::Invalid,
+        };
+        self.clock().borrow_mut().advance(cost);
+    }
+
+    /// Fetch and apply every pending diff for a page, in causal order.
+    fn fetch_pending_diffs(&mut self, pid: PageId) {
+        let params = self.sub.params().clone();
+        // Collect (pending, diff) pairs writer by writer. New notices can
+        // land mid-fetch (we service peers' requests while blocked), so
+        // each round re-derives what is pending but not yet collected.
+        let mut collected: Vec<(Pending, Diff)> = Vec::new();
+        // Per-writer seq ceiling already settled by responses: pending
+        // entries at or below it that produced no diff never wrote this
+        // page (speculative repair ranges) and are dropped.
+        let mut covered: Vec<(u16, u32)> = Vec::new();
+        let covered_of = |covered: &[(u16, u32)], node: u16| {
+            covered
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, h)| *h)
+                .unwrap_or(0)
+        };
+        loop {
+            let mut need: Vec<(u16, u32, u32)> = Vec::new();
+            for p in &self.pages[pid as usize].pending {
+                if p.seq <= covered_of(&covered, p.node)
+                    && !collected
+                        .iter()
+                        .any(|(q, _)| q.node == p.node && q.seq == p.seq)
+                {
+                    // Settled as nonexistent.
+                    continue;
+                }
+                if collected
+                    .iter()
+                    .any(|(q, _)| q.node == p.node && q.seq == p.seq)
+                {
+                    continue;
+                }
+                match need.iter_mut().find(|(n, _, _)| *n == p.node) {
+                    Some((_, lo, hi)) => {
+                        *lo = (*lo).min(p.seq);
+                        *hi = (*hi).max(p.seq);
+                    }
+                    None => need.push((p.node, p.seq, p.seq)),
+                }
+            }
+            if need.is_empty() {
+                break;
+            }
+            for (writer, lo, hi) in need {
+                let resp = self.rpc(
+                    writer as usize,
+                    Request::Diff {
+                        page: pid,
+                        lo,
+                        hi,
+                    },
+                );
+                match resp {
+                    Response::Diffs {
+                        page,
+                        covered_hi,
+                        diffs,
+                    } => {
+                        assert_eq!(page, pid);
+                        match covered.iter_mut().find(|(n, _)| *n == writer) {
+                            Some((_, h)) => *h = (*h).max(covered_hi),
+                            None => covered.push((writer, covered_hi)),
+                        }
+                        for (seq, d) in diffs {
+                            let pend = self.pages[pid as usize]
+                                .pending
+                                .iter()
+                                .find(|p| p.node == writer && p.seq == seq)
+                                .cloned();
+                            match pend {
+                                Some(p) => collected.push((p, d)),
+                                None => {
+                                    // Returned but not (yet) noticed: the
+                                    // covered ceiling will advance past it,
+                                    // so it must be applied now. Its
+                                    // synthetic vector time sorts it before
+                                    // anything that causally follows it.
+                                    let mut vcv = VectorClock::new(self.n);
+                                    vcv.set(writer as usize, seq);
+                                    collected.push((
+                                        Pending {
+                                            node: writer,
+                                            seq,
+                                            vc: vcv,
+                                        },
+                                        d,
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Response::ZeroPage { page, applied } => {
+                        assert_eq!(page, pid);
+                        let zeros = vec![0u8; self.page_size];
+                        self.adopt_full_page(pid, applied, zeros);
+                        self.clock().borrow_mut().stats.pages_fetched += 1;
+                        collected.retain(|(p, _)| {
+                            self.pages[pid as usize]
+                                .pending
+                                .iter()
+                                .any(|q| q.node == p.node && q.seq == p.seq)
+                        });
+                    }
+                    Response::FullPage { page, applied, data } => {
+                        assert_eq!(page, pid);
+                        // GC fallback: adopt, then continue with whatever
+                        // is still pending.
+                        self.adopt_full_page(pid, applied, data);
+                        self.clock().borrow_mut().stats.pages_fetched += 1;
+                        collected.retain(|(p, _)| {
+                            self.pages[pid as usize]
+                                .pending
+                                .iter()
+                                .any(|q| q.node == p.node && q.seq == p.seq)
+                        });
+                    }
+                    other => panic!("expected Diffs/FullPage, got {other:?}"),
+                }
+            }
+        }
+        // Causal sort: repeatedly take a minimal element (nothing else
+        // happens-before it).
+        let mut ordered: Vec<(Pending, Diff)> = Vec::with_capacity(collected.len());
+        while !collected.is_empty() {
+            let mut pick = 0;
+            for i in 0..collected.len() {
+                let candidate = &collected[i].0;
+                let minimal = collected.iter().enumerate().all(|(j, (other, _))| {
+                    j == i
+                        || !(other.vc.dominated_by(&candidate.vc)
+                            && other.vc != candidate.vc)
+                });
+                if minimal {
+                    pick = i;
+                    break;
+                }
+            }
+            ordered.push(collected.remove(pick));
+        }
+        // Apply in order, to data and (if present) twin.
+        let mut cost = Ns::ZERO;
+        let mut applied_count = 0u64;
+        let page = &mut self.pages[pid as usize];
+        for (pend, d) in ordered {
+            d.apply(&mut page.data);
+            if let Some(twin) = page.twin.as_mut() {
+                d.apply(twin);
+            }
+            cost += params.dsm.diff_overhead
+                + Ns::for_bytes(d.payload_bytes(), params.host.memcpy_mb_s);
+            page.applied_notice(pend.node, pend.seq);
+            applied_count += 1;
+        }
+        self.clock().borrow_mut().stats.diffs_applied += applied_count;
+        cost += params.dsm.mprotect;
+        // Clear speculative pendings that turned out not to exist.
+        let page = &mut self.pages[pid as usize];
+        for (node, hi) in covered {
+            page.applied_notice(node, hi);
+        }
+        debug_assert!(
+            page.pending.is_empty(),
+            "unresolved pendings: {:?}",
+            page.pending
+        );
+        page.state = if page.twin.is_some() {
+            Access::Write
+        } else {
+            Access::Read
+        };
+        self.clock().borrow_mut().advance(cost);
+    }
+
+    // ----- synchronization API ----------------------------------------------
+
+    fn lock_manager(&self, lock: u32) -> u16 {
+        (lock as usize % self.n) as u16
+    }
+
+    fn ensure_lock(&mut self, lock: u32) {
+        while self.locks.len() <= lock as usize {
+            let id = self.locks.len() as u32;
+            let mgr = self.lock_manager(id);
+            self.locks.push(LockState {
+                owner_hint: mgr,
+                have_token: self.me == mgr,
+                busy: false,
+                waiting: VecDeque::new(),
+            });
+        }
+    }
+
+    /// `Tmk_lock_acquire`.
+    pub fn acquire(&mut self, lock: u32) {
+        // Service anything pending first: a cached-token fast path must
+        // not starve peers whose acquire was forwarded to us.
+        self.poll_serve();
+        self.ensure_lock(lock);
+        let ls = &self.locks[lock as usize];
+        if ls.have_token && !ls.busy {
+            // Token cached locally: free re-acquire.
+            self.locks[lock as usize].busy = true;
+            self.clock().borrow_mut().advance(Ns(300));
+            return;
+        }
+        assert!(!ls.busy, "node {} re-acquiring lock {lock} it holds", self.me);
+        self.clock().borrow_mut().stats.remote_acquires += 1;
+        let mgr = self.lock_manager(lock) as usize;
+        let resp = if mgr == self.me as usize {
+            // We are the manager but the token is elsewhere: forward
+            // directly to the owner.
+            let owner = self.locks[lock as usize].owner_hint as usize;
+            debug_assert_ne!(owner, self.me as usize);
+            self.locks[lock as usize].owner_hint = self.me;
+            let rid = self.rid();
+            let req = Request::AcquireFwd {
+                lock,
+                requester: self.me,
+                rid,
+                vc: self.vc.clone(),
+            };
+            // Manually run the rpc with the chosen rid so the grant
+            // correlates.
+            let buf = req.encode(rid);
+            self.sub.send_request(owner, &buf);
+            self.clock().borrow_mut().begin_wait();
+            loop {
+                let msg = self.sub.next_incoming();
+                match msg.chan {
+                    Chan::Response => {
+                        let (got, resp) =
+                            Response::decode(&msg.data).expect("malformed response");
+                        assert_eq!(got, rid);
+                        break resp;
+                    }
+                    Chan::Request => {
+                        self.serve(msg.from, &msg.data, msg.arrival);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                }
+            }
+        } else {
+            self.rpc(
+                mgr,
+                Request::Acquire {
+                    lock,
+                    vc: self.vc.clone(),
+                },
+            )
+        };
+        match resp {
+            Response::Grant { lock: l, vc, records } => {
+                assert_eq!(l, lock);
+                let cost = self.apply_records(records);
+                self.vc.join(&vc);
+                self.clock().borrow_mut().advance(cost);
+                let ls = &mut self.locks[lock as usize];
+                ls.have_token = true;
+                ls.busy = true;
+            }
+            other => panic!("expected Grant, got {other:?}"),
+        }
+    }
+
+    /// `Tmk_lock_release`.
+    pub fn release(&mut self, lock: u32) {
+        self.poll_serve();
+        self.ensure_lock(lock);
+        assert!(
+            self.locks[lock as usize].busy,
+            "node {} releasing lock {lock} it doesn't hold",
+            self.me
+        );
+        self.locks[lock as usize].busy = false;
+        self.clock().borrow_mut().advance(Ns(300));
+        self.grant_waiting(lock);
+    }
+
+    /// Hand the token to the next queued requester, if any.
+    fn grant_waiting(&mut self, lock: u32) {
+        let ls = &mut self.locks[lock as usize];
+        if !ls.have_token || ls.busy {
+            return;
+        }
+        let Some((requester, rid, rvc)) = ls.waiting.pop_front() else {
+            return;
+        };
+        let (resp, cost) = self.make_grant(lock, &rvc);
+        self.locks[lock as usize].have_token = false;
+        let buf = resp.encode(rid);
+        let total = cost + self.sub.response_cost(buf.len());
+        self.clock().borrow_mut().advance(total);
+        let now = self.clock().borrow().now();
+        self.sub.send_response_at(requester as usize, &buf, now);
+    }
+
+    /// `Tmk_barrier`.
+    pub fn barrier(&mut self, id: u32) {
+        trace!(self, "barrier {id} enter");
+        let flush_cost = self.flush_interval();
+        self.clock().borrow_mut().advance(flush_cost);
+        self.clock().borrow_mut().stats.barriers += 1;
+        let mgr = self.cfg.barrier_manager;
+        if self.me == mgr {
+            self.barrier_as_manager(id)
+        } else {
+            let records = self.log.newer_than(&self.last_barrier_vc);
+            let resp = self.rpc(
+                mgr as usize,
+                Request::BarrierArrive {
+                    barrier: id,
+                    vc: self.vc.clone(),
+                    records,
+                },
+            );
+            match resp {
+                Response::BarrierRelease { vc, records } => {
+                    let cost = self.apply_records(records);
+                    self.vc.join(&vc);
+                    self.clock().borrow_mut().advance(cost);
+                    self.epoch_gc(vc);
+                }
+                other => panic!("expected BarrierRelease, got {other:?}"),
+            }
+        }
+    }
+
+    fn barrier_as_manager(&mut self, id: u32) {
+        // Local arrival.
+        match self.barrier.id {
+            None => self.barrier.id = Some(id),
+            Some(b) => assert_eq!(b, id, "manager at barrier {id}, episode is {b}"),
+        }
+        if !self.barrier.arrived[self.me as usize] {
+            self.barrier.arrived[self.me as usize] = true;
+            self.barrier.count += 1;
+        }
+        self.clock().borrow_mut().begin_wait();
+        while self.barrier.count < self.n {
+            let msg = self.sub.next_incoming();
+            match msg.chan {
+                Chan::Request => {
+                    self.serve(msg.from, &msg.data, msg.arrival);
+                    self.clock().borrow_mut().begin_wait();
+                }
+                Chan::Response => panic!("manager got a response inside barrier wait"),
+            }
+        }
+        // Everyone is here: departure. Incorporate the arrivals' interval
+        // records and vector times, invalidate, then release the clients.
+        let episode = std::mem::replace(&mut self.barrier, BarrierEpisode::new(self.n));
+        let apply_cost = self.apply_records(episode.records.clone());
+        self.clock().borrow_mut().advance(apply_cost);
+        for slot in episode.clients.iter().flatten() {
+            self.vc.join(&slot.1);
+        }
+        let merged = self.vc.clone();
+        for (node, slot) in episode.clients.into_iter().enumerate() {
+            let Some((rid, cvc)) = slot else { continue };
+            let records = self.log.newer_than(&cvc);
+            let resp = Response::BarrierRelease {
+                vc: merged.clone(),
+                records,
+            };
+            let buf = resp.encode(rid);
+            let cost = self.sub.response_cost(buf.len()) + Ns(500);
+            self.clock().borrow_mut().advance(cost);
+            let now = self.clock().borrow().now();
+            self.sub.send_response_at(node, &buf, now);
+        }
+        self.epoch_gc(merged);
+    }
+
+    /// Post-barrier GC: everyone has incorporated everything up to `vc`.
+    fn epoch_gc(&mut self, vc: VectorClock) {
+        self.last_barrier_vc = vc;
+        self.log.trim(&self.last_barrier_vc);
+    }
+
+    /// Final synchronization before the node thread returns: a barrier, so
+    /// no peer is left blocked on us.
+    pub fn exit(&mut self) {
+        self.barrier(u32::MAX);
+    }
+
+    // ----- data access --------------------------------------------------------
+
+    /// Read `out.len()` bytes from `(region, off)`.
+    pub fn read_bytes(&mut self, id: SharedId, off: usize, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        let r = &self.regions[id.0];
+        assert!(off + out.len() <= r.len, "read beyond region");
+        let start_page = r.start_page;
+        let mut done = 0;
+        while done < out.len() {
+            let abs = off + done;
+            let pid = (start_page + abs / self.page_size) as PageId;
+            self.ensure_readable(pid);
+            let in_page = abs % self.page_size;
+            let take = (self.page_size - in_page).min(out.len() - done);
+            let page = &self.pages[pid as usize];
+            out[done..done + take].copy_from_slice(&page.data[in_page..in_page + take]);
+            done += take;
+        }
+    }
+
+    /// Write `src` to `(region, off)`.
+    pub fn write_bytes(&mut self, id: SharedId, off: usize, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        let r = &self.regions[id.0];
+        assert!(off + src.len() <= r.len, "write beyond region");
+        let start_page = r.start_page;
+        let mut done = 0;
+        while done < src.len() {
+            let abs = off + done;
+            let pid = (start_page + abs / self.page_size) as PageId;
+            let in_page = abs % self.page_size;
+            let take = (self.page_size - in_page).min(src.len() - done);
+            if in_page == 0 && take == self.page_size {
+                // Whole-page overwrite: no need to fetch content we are
+                // about to replace (first-touch writes of fresh arrays
+                // would otherwise ship pages of zeroes across the wire).
+                self.ensure_writable_overwrite(pid);
+            } else {
+                self.ensure_writable(pid);
+            }
+            let page = &mut self.pages[pid as usize];
+            page.data[in_page..in_page + take].copy_from_slice(&src[done..done + take]);
+            done += take;
+        }
+    }
+
+    /// Write fault for a whole-page overwrite: skip fetching the old
+    /// content. Pending notices are marked applied — their diffs would be
+    /// overwritten verbatim (any word both we and a concurrent writer
+    /// touch would be a data race in the program).
+    fn ensure_writable_overwrite(&mut self, pid: PageId) {
+        let state = self.pages[pid as usize].state;
+        match state {
+            Access::Write => return,
+            Access::Read => {
+                self.ensure_writable(pid);
+                return;
+            }
+            Access::Unmapped | Access::Invalid | Access::WriteInvalid => {}
+        }
+        let params = self.sub.params().clone();
+        let page = &mut self.pages[pid as usize];
+        if !page.has_copy() {
+            page.data = vec![0; self.page_size];
+        }
+        // Absorb pending notices without fetching their diffs.
+        let pending = std::mem::take(&mut page.pending);
+        for p in &pending {
+            page.applied[p.node as usize] = page.applied[p.node as usize].max(p.seq);
+        }
+        let mut cost = params.dsm.page_fault + params.dsm.mprotect;
+        if page.twin.is_none() {
+            page.twin = Some(page.data.clone());
+            self.dirty.push(pid);
+            cost += params.dsm.twin_overhead
+                + Ns::for_bytes(self.page_size, params.host.memcpy_mb_s);
+            let mut c = self.clock().borrow_mut();
+            c.stats.twins_created += 1;
+        }
+        let page = &mut self.pages[pid as usize];
+        page.force_full_diff = true;
+        page.state = Access::Write;
+        let mut c = self.clock().borrow_mut();
+        c.advance(cost);
+        c.stats.page_faults += 1;
+    }
+
+    // Typed helpers ------------------------------------------------------
+
+    pub fn get_u32(&mut self, id: SharedId, idx: usize) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(id, idx * 4, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    pub fn set_u32(&mut self, id: SharedId, idx: usize, v: u32) {
+        self.write_bytes(id, idx * 4, &v.to_le_bytes());
+    }
+
+    pub fn get_i32(&mut self, id: SharedId, idx: usize) -> i32 {
+        self.get_u32(id, idx) as i32
+    }
+
+    pub fn set_i32(&mut self, id: SharedId, idx: usize, v: i32) {
+        self.set_u32(id, idx, v as u32);
+    }
+
+    pub fn get_f32(&mut self, id: SharedId, idx: usize) -> f32 {
+        f32::from_bits(self.get_u32(id, idx))
+    }
+
+    pub fn set_f32(&mut self, id: SharedId, idx: usize, v: f32) {
+        self.set_u32(id, idx, v.to_bits());
+    }
+
+    pub fn get_f64(&mut self, id: SharedId, idx: usize) -> f64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(id, idx * 8, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    pub fn set_f64(&mut self, id: SharedId, idx: usize, v: f64) {
+        self.write_bytes(id, idx * 8, &v.to_le_bytes());
+    }
+
+    /// Bulk f32 read starting at element `idx`.
+    pub fn read_f32s(&mut self, id: SharedId, idx: usize, out: &mut [f32]) {
+        let mut bytes = vec![0u8; out.len() * 4];
+        self.read_bytes(id, idx * 4, &mut bytes);
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+
+    /// Bulk f32 write starting at element `idx`.
+    pub fn write_f32s(&mut self, id: SharedId, idx: usize, src: &[f32]) {
+        let mut bytes = Vec::with_capacity(src.len() * 4);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(id, idx * 4, &bytes);
+    }
+
+    /// Bulk f64 read starting at element `idx`.
+    pub fn read_f64s(&mut self, id: SharedId, idx: usize, out: &mut [f64]) {
+        let mut bytes = vec![0u8; out.len() * 8];
+        self.read_bytes(id, idx * 8, &mut bytes);
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            out[i] = f64::from_le_bytes(b);
+        }
+    }
+
+    /// Bulk f64 write starting at element `idx`.
+    pub fn write_f64s(&mut self, id: SharedId, idx: usize, src: &[f64]) {
+        let mut bytes = Vec::with_capacity(src.len() * 8);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(id, idx * 8, &bytes);
+    }
+
+    /// Introspection for tests: the page state of `(region, off)`.
+    pub fn page_state(&self, id: SharedId, off: usize) -> Access {
+        let pid = self.page_of(id, off);
+        self.pages[pid as usize].state
+    }
+
+    /// Introspection: current vector time.
+    pub fn vector_time(&self) -> &VectorClock {
+        &self.vc
+    }
+}

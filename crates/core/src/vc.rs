@@ -1,0 +1,172 @@
+//! Vector timestamps for lazy release consistency.
+//!
+//! `vc[p]` counts the intervals of processor `p` whose write notices this
+//! node has incorporated. The happens-before partial order of LRC is the
+//! pointwise order on these vectors.
+
+use crate::wire::{WireReader, WireWriter};
+
+/// A vector timestamp, one counter per processor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VectorClock {
+    v: Vec<u32>,
+}
+
+impl VectorClock {
+    pub fn new(nprocs: usize) -> Self {
+        VectorClock { v: vec![0; nprocs] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    pub fn get(&self, p: usize) -> u32 {
+        self.v[p]
+    }
+
+    pub fn set(&mut self, p: usize, val: u32) {
+        self.v[p] = val;
+    }
+
+    /// Start processor `p`'s next interval; returns the new counter.
+    pub fn tick(&mut self, p: usize) -> u32 {
+        self.v[p] += 1;
+        self.v[p]
+    }
+
+    /// Pointwise maximum (join). Panics on mismatched cluster sizes.
+    pub fn join(&mut self, other: &VectorClock) {
+        assert_eq!(self.v.len(), other.v.len());
+        for (a, b) in self.v.iter_mut().zip(&other.v) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// `self ≤ other` in the pointwise (happens-before) order.
+    pub fn dominated_by(&self, other: &VectorClock) -> bool {
+        assert_eq!(self.v.len(), other.v.len());
+        self.v.iter().zip(&other.v).all(|(a, b)| a <= b)
+    }
+
+    /// Neither dominates: concurrent.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominated_by(other) && !other.dominated_by(self)
+    }
+
+    /// Has this clock seen interval `seq` of processor `p`?
+    pub fn covers(&self, p: usize, seq: u32) -> bool {
+        self.v[p] >= seq
+    }
+
+    pub fn encode(&self, w: &mut WireWriter) {
+        w.u16(self.v.len() as u16);
+        for &x in &self.v {
+            w.u32(x);
+        }
+    }
+
+    pub fn decode(r: &mut WireReader) -> Option<VectorClock> {
+        let n = r.u16()? as usize;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(r.u32()?);
+        }
+        Some(VectorClock { v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut vc = VectorClock::new(3);
+        assert_eq!(vc.tick(1), 1);
+        assert_eq!(vc.tick(1), 2);
+        assert_eq!(vc.get(1), 2);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new(3);
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new(3);
+        b.set(0, 2);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn dominance_and_concurrency() {
+        let mut a = VectorClock::new(2);
+        let mut b = VectorClock::new(2);
+        assert!(a.dominated_by(&b) && b.dominated_by(&a)); // equal
+        a.tick(0);
+        assert!(b.dominated_by(&a));
+        assert!(!a.dominated_by(&b));
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn covers_intervals() {
+        let mut a = VectorClock::new(2);
+        a.set(1, 3);
+        assert!(a.covers(1, 3));
+        assert!(a.covers(1, 1));
+        assert!(!a.covers(1, 4));
+        assert!(a.covers(0, 0));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut a = VectorClock::new(4);
+        a.set(0, 1);
+        a.set(3, 9);
+        let mut w = WireWriter::new();
+        a.encode(&mut w);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(VectorClock::decode(&mut r), Some(a));
+    }
+
+    proptest! {
+        /// join is a least upper bound: idempotent, commutative, monotone.
+        #[test]
+        fn join_is_lub(xs in proptest::collection::vec(0u32..100, 4), ys in proptest::collection::vec(0u32..100, 4)) {
+            let a = VectorClock { v: xs };
+            let b = VectorClock { v: ys };
+            let mut ab = a.clone();
+            ab.join(&b);
+            let mut ba = b.clone();
+            ba.join(&a);
+            prop_assert_eq!(&ab, &ba);            // commutative
+            prop_assert!(a.dominated_by(&ab));    // upper bound
+            prop_assert!(b.dominated_by(&ab));
+            let mut abb = ab.clone();
+            abb.join(&b);
+            prop_assert_eq!(&abb, &ab);           // idempotent
+        }
+
+        #[test]
+        fn roundtrip_any(xs in proptest::collection::vec(any::<u32>(), 0..64)) {
+            let a = VectorClock { v: xs };
+            let mut w = WireWriter::new();
+            a.encode(&mut w);
+            let buf = w.finish();
+            prop_assert_eq!(VectorClock::decode(&mut WireReader::new(&buf)), Some(a));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Hand-rolled wire encoding: little-endian, length-prefixed.
+//!
+//! TreadMarks' messages are C structs on the wire; we keep the same spirit
+//! (no self-describing serialization framework, no allocation churn) with a
+//! tiny writer/reader pair. All protocol messages in [`crate::protocol`]
+//! encode through these.
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    pub fn new() -> Self {
+        WireWriter { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Length-prefixed byte slice (u32 length).
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Raw bytes, no length prefix (caller knows the framing).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-style decoder. All reads return `Option` — a malformed message
+/// surfaces as `None`, which the protocol layer treats as a hard error.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        })
+    }
+
+    /// Length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Exactly `n` raw bytes (caller-framed).
+    pub fn raw_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// All remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = WireWriter::new();
+        w.u8(7).u16(300).u32(70_000).u64(1 << 40);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u16(), Some(300));
+        assert_eq!(r.u32(), Some(70_000));
+        assert_eq!(r.u64(), Some(1 << 40));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut w = WireWriter::new();
+        w.bytes(b"hello").bytes(b"").u8(9);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes(), Some(&b"hello"[..]));
+        assert_eq!(r.bytes(), Some(&b""[..]));
+        assert_eq!(r.u8(), Some(9));
+    }
+
+    #[test]
+    fn short_reads_are_none_not_panic() {
+        let buf = [1u8, 2];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u32(), None);
+        // A failed read consumes nothing.
+        assert_eq!(r.u16(), Some(0x0201));
+    }
+
+    #[test]
+    fn truncated_length_prefix() {
+        let mut w = WireWriter::new();
+        w.u32(100); // claims 100 bytes follow; none do
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.bytes(), None);
+    }
+
+    #[test]
+    fn rest_consumes_everything() {
+        let buf = [1u8, 2, 3];
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8(), Some(1));
+        assert_eq!(r.rest(), &[2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn mixed_roundtrip(a: u8, b: u16, c: u32, d: u64, v in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let mut w = WireWriter::new();
+            w.u8(a).u16(b).bytes(&v).u32(c).u64(d);
+            let buf = w.finish();
+            let mut r = WireReader::new(&buf);
+            prop_assert_eq!(r.u8(), Some(a));
+            prop_assert_eq!(r.u16(), Some(b));
+            prop_assert_eq!(r.bytes(), Some(&v[..]));
+            prop_assert_eq!(r.u32(), Some(c));
+            prop_assert_eq!(r.u64(), Some(d));
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # tm-fast — FAST/GM, the paper's communication substrate
+//!
+//! The thin layer between TreadMarks and GM (§2.2 of the paper),
+//! implementing the four components of its Figure 2:
+//!
+//! 1. **Connection management** ([`substrate`]): all peers are multiplexed
+//!    over exactly **two GM ports** — one asynchronous port for requests
+//!    (NIC raises a host interrupt: the modified-firmware scheme the paper
+//!    adopted) and one synchronous port for responses (polled by the
+//!    blocked requester). Connection descriptors degenerate to GM node
+//!    ids; scalability no longer depends on GM's seven usable ports.
+//! 2. **Pre-posting of receive buffers** (§2.2.2): `o·(n−1)` small
+//!    (size-4) buffers for requests, `(n−1)` buffers of each size 5…15
+//!    for asynchronous barrier traffic, and one buffer per size 4…15 for
+//!    the single outstanding synchronous response — about
+//!    `64KB·(n−1) + 64KB` of registered memory, exactly the paper's
+//!    arithmetic (reproduced by experiment E5).
+//! 3. **Buffer management** (§2.2.3): outgoing messages are copied into a
+//!    pool of registered send buffers (paying the copy, saving the
+//!    repinning); incoming requests are processed in place.
+//! 4. **Asynchronous messages** (§2.2.4): NIC interrupt on the request
+//!    port; the polling-thread and timer alternatives remain available as
+//!    [`tm_sim::AsyncScheme`] options for the ablation (E6).
+//!
+//! The crate also provides [`udp::UdpSubstrate`] — TreadMarks' stock
+//! sockets/UDP binding over the same fabric — so benchmarks can swap
+//! UDP/GM for FAST/GM with one type parameter, and cluster-runner helpers
+//! ([`cluster`]) used by the examples, tests and benches.
+
+pub mod cluster;
+pub mod substrate;
+pub mod udp;
+
+pub use cluster::{run_dsm, run_fast_dsm, run_udp_dsm, Transport};
+pub use substrate::{FastConfig, FastSubstrate};
+pub use udp::UdpSubstrate;

@@ -1,0 +1,246 @@
+//! Registered (DMA-pinned) memory.
+//!
+//! GM can only send from and receive into memory that has been registered —
+//! pinned in physical memory so the LANai's DMA engines can reach it
+//! (paper §2.1: *"Memory used for communication in GM has to be locked down
+//! before the communication commences"*, and §2.2.3 on why the substrate
+//! keeps a pool of registered send buffers rather than registering
+//! TreadMarks' own structures).
+//!
+//! [`RegBook`] is a node's registration accounting: it charges pin time per
+//! page and enforces the physical-memory budget. [`Region`] is a registered
+//! span usable as a directed-send (RDMA) target. [`DmaPool`] is a bump pool
+//! of registered send/receive buffers, handed out as [`PooledBuf`]s — the
+//! proof-of-registration token the send path demands.
+
+use tm_sim::{Ns, SharedClock, SimParams};
+
+/// Identifier of a registered region, carried in directed-send packets.
+pub type RegionId = u32;
+
+/// A registered memory region owned by one node.
+#[derive(Debug)]
+pub struct Region {
+    pub id: RegionId,
+    pub data: Vec<u8>,
+}
+
+/// Registration accounting for one node.
+pub struct RegBook {
+    clock: SharedClock,
+    pin_page: Ns,
+    page_size: usize,
+    limit_bytes: usize,
+    pinned_bytes: usize,
+    next_region: RegionId,
+    regions: Vec<Region>,
+}
+
+/// Errors from registration.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RegError {
+    /// Physical memory budget exceeded — the failure mode §2.2.2's sizing
+    /// arithmetic is designed to avoid.
+    OutOfPinnedMemory { requested: usize, available: usize },
+}
+
+impl RegBook {
+    /// `limit_bytes`: how much of physical memory may be pinned. The
+    /// paper's nodes had 1 GB; OS + application need most of it.
+    pub fn new(clock: SharedClock, params: &SimParams, limit_bytes: usize) -> Self {
+        RegBook {
+            clock,
+            pin_page: params.host.pin_page,
+            page_size: params.dsm.page_size,
+            limit_bytes,
+            pinned_bytes: 0,
+            next_region: 1,
+            regions: Vec::new(),
+        }
+    }
+
+    pub fn pinned_bytes(&self) -> usize {
+        self.pinned_bytes
+    }
+
+    /// Register `len` bytes; charges pin time per page and returns the
+    /// region id.
+    pub fn register(&mut self, len: usize) -> Result<RegionId, RegError> {
+        let pages = len.div_ceil(self.page_size).max(1);
+        let bytes = pages * self.page_size;
+        if self.pinned_bytes + bytes > self.limit_bytes {
+            return Err(RegError::OutOfPinnedMemory {
+                requested: bytes,
+                available: self.limit_bytes - self.pinned_bytes,
+            });
+        }
+        self.pinned_bytes += bytes;
+        self.clock
+            .borrow_mut()
+            .advance(Ns(self.pin_page.0 * pages as u64));
+        let id = self.next_region;
+        self.next_region += 1;
+        self.regions.push(Region {
+            id,
+            data: vec![0; len],
+        });
+        Ok(id)
+    }
+
+    /// Deregister (unpin) a region.
+    pub fn deregister(&mut self, id: RegionId) {
+        if let Some(i) = self.regions.iter().position(|r| r.id == id) {
+            let r = self.regions.remove(i);
+            let pages = r.data.len().div_ceil(self.page_size).max(1);
+            self.pinned_bytes -= pages * self.page_size;
+        }
+    }
+
+    pub fn region(&self, id: RegionId) -> Option<&Region> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+
+    pub fn region_mut(&mut self, id: RegionId) -> Option<&mut Region> {
+        self.regions.iter_mut().find(|r| r.id == id)
+    }
+}
+
+/// A buffer allocated from a registered pool — the token that proves to
+/// the send path that its bytes are DMA-reachable.
+#[derive(Debug, Clone)]
+pub struct PooledBuf {
+    pub region: RegionId,
+    pub data: Vec<u8>,
+}
+
+impl PooledBuf {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A pool of registered send buffers (§2.2.3: the substrate copies outgoing
+/// messages into registered buffers rather than registering TreadMarks'
+/// data structures).
+pub struct DmaPool {
+    region: RegionId,
+    capacity: usize,
+    outstanding: usize,
+    max_outstanding: usize,
+}
+
+impl DmaPool {
+    /// Carve a pool of `count` buffers of `buf_len` bytes out of newly
+    /// registered memory.
+    pub fn new(book: &mut RegBook, count: usize, buf_len: usize) -> Result<Self, RegError> {
+        let region = book.register(count * buf_len)?;
+        Ok(DmaPool {
+            region,
+            capacity: count,
+            outstanding: 0,
+            max_outstanding: 0,
+        })
+    }
+
+    /// Take a buffer holding `data`'s bytes. Returns `None` when the pool
+    /// is exhausted (caller must recycle completed sends first).
+    pub fn take(&mut self, data: &[u8]) -> Option<PooledBuf> {
+        if self.outstanding == self.capacity {
+            return None;
+        }
+        self.outstanding += 1;
+        self.max_outstanding = self.max_outstanding.max(self.outstanding);
+        Some(PooledBuf {
+            region: self.region,
+            data: data.to_vec(),
+        })
+    }
+
+    /// Return a buffer to the pool (send completion callback fired).
+    pub fn recycle(&mut self) {
+        debug_assert!(self.outstanding > 0, "recycle without take");
+        self.outstanding = self.outstanding.saturating_sub(1);
+    }
+
+    pub fn available(&self) -> usize {
+        self.capacity - self.outstanding
+    }
+
+    /// High-water mark of concurrently outstanding buffers.
+    pub fn high_water(&self) -> usize {
+        self.max_outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tm_sim::clock::shared_clock;
+
+    fn book(limit: usize) -> RegBook {
+        let params = Arc::new(SimParams::paper_testbed());
+        RegBook::new(shared_clock(), &params, limit)
+    }
+
+    #[test]
+    fn register_rounds_to_pages_and_charges_time() {
+        let mut b = book(1 << 20);
+        let clock = b.clock.clone();
+        let id = b.register(5000).unwrap(); // 2 pages
+        assert_eq!(b.pinned_bytes(), 8192);
+        assert_eq!(clock.borrow().now(), Ns(2_000)); // 2 pages * 1us pin
+        assert_eq!(b.region(id).unwrap().data.len(), 5000);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut b = book(8192);
+        b.register(4096).unwrap();
+        b.register(4096).unwrap();
+        let err = b.register(1).unwrap_err();
+        assert_eq!(
+            err,
+            RegError::OutOfPinnedMemory {
+                requested: 4096,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn deregister_releases_budget() {
+        let mut b = book(8192);
+        let id = b.register(8192).unwrap();
+        assert!(b.register(1).is_err());
+        b.deregister(id);
+        assert_eq!(b.pinned_bytes(), 0);
+        assert!(b.register(4096).is_ok());
+    }
+
+    #[test]
+    fn pool_take_recycle_cycle() {
+        let mut b = book(1 << 20);
+        let mut pool = DmaPool::new(&mut b, 2, 1024).unwrap();
+        assert_eq!(pool.available(), 2);
+        let buf = pool.take(b"abc").unwrap();
+        assert_eq!(buf.data, b"abc");
+        let _b2 = pool.take(b"d").unwrap();
+        assert!(pool.take(b"overflow").is_none());
+        pool.recycle();
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.high_water(), 2);
+    }
+
+    #[test]
+    fn region_mut_is_writable() {
+        let mut b = book(1 << 20);
+        let id = b.register(16).unwrap();
+        b.region_mut(id).unwrap().data[3] = 0xAB;
+        assert_eq!(b.region(id).unwrap().data[3], 0xAB);
+    }
+}

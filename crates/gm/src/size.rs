@@ -1,0 +1,75 @@
+//! GM message size classes.
+//!
+//! The paper (§2.1): *"GM uses the concept of size to decide the buffer
+//! into which a message of length l may be received where size is the
+//! smallest integer [greater than] or equal to log2(l+1)."* A buffer of
+//! size class `s` therefore holds messages up to `2^s − 1` bytes; size 4
+//! covers the 8-byte asynchronous requests TreadMarks mostly sends, and
+//! size 15 covers the 32 KB maximum TreadMarks message.
+
+/// Largest size class TreadMarks provisioning ever needs (32 KB − 1).
+pub const MAX_SIZE_CLASS: u8 = 15;
+
+/// Smallest size class the paper's substrate preposts (8-byte requests).
+pub const MIN_SIZE_CLASS: u8 = 4;
+
+/// The size class for a message of `len` bytes: smallest `s` with
+/// `len <= 2^s - 1`, i.e. `ceil(log2(len + 1))`.
+pub fn gm_size(len: usize) -> u8 {
+    // bits needed to represent `len` = 64 - leading_zeros; len=0 -> 0.
+    (usize::BITS - len.leading_zeros()) as u8
+}
+
+/// Maximum message length receivable into a buffer of size class `s`.
+pub fn gm_max_length(s: u8) -> usize {
+    if s as u32 >= usize::BITS {
+        usize::MAX
+    } else {
+        (1usize << s) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(gm_size(0), 0);
+        assert_eq!(gm_size(1), 1);
+        assert_eq!(gm_size(7), 3);
+        assert_eq!(gm_size(8), 4); // 8-byte request -> size 4, as in §2.2.2
+        assert_eq!(gm_size(15), 4);
+        assert_eq!(gm_size(16), 5);
+        assert_eq!(gm_size(4096), 13); // a page needs size 13
+        assert_eq!(gm_size(32 * 1024 - 1), 15); // TreadMarks max message
+        assert_eq!(gm_size(32 * 1024), 16);
+    }
+
+    #[test]
+    fn max_lengths() {
+        assert_eq!(gm_max_length(4), 15);
+        assert_eq!(gm_max_length(13), 8191);
+        assert_eq!(gm_max_length(15), 32 * 1024 - 1);
+    }
+
+    proptest! {
+        /// gm_size(l) is the *smallest* class whose buffer fits l bytes.
+        #[test]
+        fn size_is_minimal_and_sufficient(len in 0usize..1_000_000) {
+            let s = gm_size(len);
+            prop_assert!(len <= gm_max_length(s));
+            if s > 0 {
+                prop_assert!(len > gm_max_length(s - 1));
+            }
+        }
+
+        /// Size classes are monotone in message length.
+        #[test]
+        fn size_is_monotone(a in 0usize..500_000, b in 0usize..500_000) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(gm_size(lo) <= gm_size(hi));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-node event counters, used by the experiment harness to report the
+//! message/fault/diff breakdowns the paper discusses qualitatively.
+
+use crate::time::Ns;
+
+/// Counters accumulated by one simulated node over a run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    /// Messages injected into the fabric.
+    pub msgs_sent: u64,
+    /// Payload bytes injected.
+    pub bytes_sent: u64,
+    /// Messages consumed.
+    pub msgs_recv: u64,
+    /// Payload bytes consumed.
+    pub bytes_recv: u64,
+    /// Asynchronous requests this node serviced for peers.
+    pub requests_served: u64,
+    /// Virtual time spent inside request handlers.
+    pub service_time: Ns,
+    /// Virtual time spent in application computation.
+    pub compute_time: Ns,
+    /// Virtual time spent blocked (waiting on responses, locks, barriers).
+    pub idle_time: Ns,
+    /// DSM: page faults taken (read + write).
+    pub page_faults: u64,
+    /// DSM: full pages fetched from a remote node.
+    pub pages_fetched: u64,
+    /// DSM: diffs created.
+    pub diffs_created: u64,
+    /// DSM: diffs applied.
+    pub diffs_applied: u64,
+    /// DSM: twins created (first write to a page in an interval).
+    pub twins_created: u64,
+    /// Lock acquires that went remote.
+    pub remote_acquires: u64,
+    /// Barrier episodes participated in.
+    pub barriers: u64,
+}
+
+impl NodeStats {
+    /// Fold another node's counters into this one (cluster aggregation).
+    pub fn merge(&mut self, other: &NodeStats) {
+        self.msgs_sent += other.msgs_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.msgs_recv += other.msgs_recv;
+        self.bytes_recv += other.bytes_recv;
+        self.requests_served += other.requests_served;
+        self.service_time += other.service_time;
+        self.compute_time += other.compute_time;
+        self.idle_time += other.idle_time;
+        self.page_faults += other.page_faults;
+        self.pages_fetched += other.pages_fetched;
+        self.diffs_created += other.diffs_created;
+        self.diffs_applied += other.diffs_applied;
+        self.twins_created += other.twins_created;
+        self.remote_acquires += other.remote_acquires;
+        self.barriers += other.barriers;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = NodeStats {
+            msgs_sent: 1,
+            bytes_sent: 10,
+            msgs_recv: 2,
+            bytes_recv: 20,
+            requests_served: 3,
+            service_time: Ns(30),
+            compute_time: Ns(40),
+            idle_time: Ns(50),
+            page_faults: 4,
+            pages_fetched: 5,
+            diffs_created: 6,
+            diffs_applied: 7,
+            twins_created: 8,
+            remote_acquires: 9,
+            barriers: 10,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.msgs_sent, 2);
+        assert_eq!(a.bytes_recv, 40);
+        assert_eq!(a.service_time, Ns(60));
+        assert_eq!(a.barriers, 20);
+        assert_eq!(a.twins_created, 16);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = NodeStats::default();
+        assert_eq!(s.msgs_sent, 0);
+        assert_eq!(s.compute_time, Ns::ZERO);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests on the virtual clock: the invariants the whole timing
+//! model stands on.
+
+use proptest::prelude::*;
+use tm_sim::{AsyncScheme, Ns, NodeClock};
+
+proptest! {
+    /// The clock never goes backwards, whatever mix of operations runs.
+    #[test]
+    fn clock_is_monotone(ops in proptest::collection::vec((0u8..4, 0u64..1_000_000), 1..64)) {
+        let mut c = NodeClock::new();
+        let scheme = AsyncScheme::Interrupt { cost: Ns::from_us(7) };
+        let mut last = Ns::ZERO;
+        for (kind, val) in ops {
+            match kind {
+                0 => c.advance(Ns(val)),
+                1 => c.compute(Ns(val)),
+                2 => c.wait_until(Ns(val)),
+                _ => {
+                    c.service_window(Ns(val), &scheme, Ns(val / 2 + 1));
+                }
+            }
+            prop_assert!(c.now() >= last, "clock regressed");
+            last = c.now();
+        }
+    }
+
+    /// Service completion never precedes the scheme's earliest delivery.
+    #[test]
+    fn service_respects_scheme_latency(
+        arrival in 0u64..1_000_000,
+        dur in 1u64..100_000,
+        pre in 0u64..2_000_000,
+    ) {
+        let scheme = AsyncScheme::Interrupt { cost: Ns::from_us(7) };
+        let mut c = NodeClock::new();
+        c.compute(Ns(pre));
+        let finish = c.service_window(Ns(arrival), &scheme, Ns(dur));
+        prop_assert!(finish >= scheme.earliest_service(Ns(arrival)) + Ns(dur));
+    }
+
+    /// Back-to-back services of the same arrival serialize: each later
+    /// finish is strictly after the previous.
+    #[test]
+    fn services_serialize(count in 2usize..10, arrival in 0u64..100_000) {
+        let scheme = AsyncScheme::Interrupt { cost: Ns::from_us(7) };
+        let mut c = NodeClock::new();
+        c.compute(Ns::from_ms(1));
+        let mut prev = Ns::ZERO;
+        for _ in 0..count {
+            let f = c.service_window(Ns(arrival), &scheme, Ns(5_000));
+            prop_assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    /// Timer scheme delivery is always at a tick boundary plus dispatch,
+    /// at or after arrival.
+    #[test]
+    fn timer_ticks_align(arrival in 1u64..10_000_000, period in 1_000u64..1_000_000) {
+        let s = AsyncScheme::Timer { period: Ns(period), dispatch: Ns(2_000) };
+        let t = s.earliest_service(Ns(arrival));
+        let tick = t - Ns(2_000);
+        prop_assert!(tick >= Ns(arrival));
+        prop_assert_eq!(tick.0 % period, 0);
+        prop_assert!(tick.0 - arrival < period + 1);
+    }
+}

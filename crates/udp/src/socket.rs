@@ -1,0 +1,476 @@
+//! The kernel UDP/IP socket model.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tm_myrinet::{NicHandle, NodeId};
+use tm_sim::{Ns, SharedClock, SimParams};
+
+/// Sockets live above the GM port namespace on the shared fabric.
+pub const SOCKET_PORT_BASE: u16 = 1024;
+
+/// Default socket receive-buffer capacity in datagrams (SO_RCVBUF-ish).
+const SOCKBUF_DATAGRAMS: usize = 256;
+
+/// A datagram sitting in a socket's receive buffer.
+#[derive(Debug, Clone)]
+pub struct Datagram {
+    pub src: NodeId,
+    pub src_port: u16,
+    pub data: Bytes,
+    /// Virtual time at which the datagram is in the socket buffer:
+    /// NIC arrival + receive interrupt + protocol processing + the copy
+    /// into the socket buffer.
+    pub ready: Ns,
+}
+
+struct SocketState {
+    port: u16,
+    queue: VecDeque<Datagram>,
+    /// O_ASYNC: SIGIO on arrival. The signal's cost is charged by the
+    /// substrate's async scheme at service time.
+    pub sigio: bool,
+}
+
+/// One node's kernel socket layer. Owned by the node thread.
+pub struct UdpStack {
+    nic: NicHandle,
+    clock: SharedClock,
+    params: Arc<SimParams>,
+    sockets: Vec<SocketState>,
+    rng: SmallRng,
+    /// Datagrams dropped (loss model + buffer overflow).
+    pub drops: u64,
+}
+
+impl UdpStack {
+    pub fn new(nic: NicHandle, clock: SharedClock, params: Arc<SimParams>) -> Self {
+        let seed = 0x7ead_a55e_u64 ^ (nic.node() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        UdpStack {
+            nic,
+            clock,
+            params,
+            sockets: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            drops: 0,
+        }
+    }
+
+    pub fn node(&self) -> NodeId {
+        self.nic.node()
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.nic.fabric().nprocs()
+    }
+
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    pub fn params(&self) -> &Arc<SimParams> {
+        &self.params
+    }
+
+    /// `socket() + bind()`: claim a local port. `sigio` models O_ASYNC.
+    pub fn bind(&mut self, port: u16, sigio: bool) {
+        assert!(
+            !self.sockets.iter().any(|s| s.port == port),
+            "port {port} already bound"
+        );
+        // Two syscalls: socket(), bind().
+        let syscall = self.params.host.syscall;
+        self.clock.borrow_mut().advance(syscall * 2);
+        self.sockets.push(SocketState {
+            port,
+            queue: VecDeque::new(),
+            sigio,
+        });
+    }
+
+    fn fragments(&self, len: usize) -> u64 {
+        (len.max(1)).div_ceil(self.params.udp.mtu) as u64
+    }
+
+    /// `sendto()`: copy into the kernel, fragment, and inject.
+    pub fn sendto(&mut self, dst: NodeId, dst_port: u16, src_port: u16, data: &[u8]) {
+        let cost = self.tx_cost(data.len());
+        self.clock.borrow_mut().advance(cost);
+        let p = &self.params;
+        {
+            let mut c = self.clock.borrow_mut();
+            c.stats.msgs_sent += 1;
+            c.stats.bytes_sent += data.len() as u64;
+        }
+        // Loss model: the datagram evaporates after the sender paid its
+        // costs (as with real UDP).
+        let drop_p = p.udp.drop_probability;
+        if drop_p > 0.0 && self.rng.random::<f64>() < drop_p {
+            self.drops += 1;
+            return;
+        }
+        // The kernel path still crosses the NIC.
+        let inject = self.clock.borrow().now() + p.net.nic_tx;
+        self.nic.inject(
+            dst,
+            SOCKET_PORT_BASE + src_port,
+            SOCKET_PORT_BASE + dst_port,
+            Bytes::copy_from_slice(data),
+            inject,
+            None,
+        );
+    }
+
+    /// Like [`sendto`](UdpStack::sendto) but injects at virtual time `at`
+    /// without charging the clock — for responses emitted from signal
+    /// handlers whose kernel work was already accounted by the caller
+    /// (fold [`UdpStack::tx_cost`] into the handler's service time).
+    pub fn sendto_at(&mut self, dst: NodeId, dst_port: u16, src_port: u16, data: &[u8], at: Ns) {
+        {
+            let mut c = self.clock.borrow_mut();
+            c.stats.msgs_sent += 1;
+            c.stats.bytes_sent += data.len() as u64;
+        }
+        let drop_p = self.params.udp.drop_probability;
+        if drop_p > 0.0 && self.rng.random::<f64>() < drop_p {
+            self.drops += 1;
+            return;
+        }
+        let inject = at + self.params.net.nic_tx;
+        self.nic.inject(
+            dst,
+            SOCKET_PORT_BASE + src_port,
+            SOCKET_PORT_BASE + dst_port,
+            Bytes::copy_from_slice(data),
+            inject,
+            None,
+        );
+    }
+
+    /// Host-side transmit cost of a datagram of `len` bytes (what
+    /// [`sendto`](UdpStack::sendto) charges).
+    pub fn tx_cost(&self, len: usize) -> Ns {
+        let p = &self.params;
+        let frags = self.fragments(len);
+        p.host.syscall
+            + p.udp.tx_proto
+            + Ns::for_bytes(len, p.host.memcpy_mb_s)
+            + Ns(p.udp.per_fragment.0 * (frags - 1))
+    }
+
+    /// Kernel cost between NIC arrival and the datagram becoming visible
+    /// (the first receive interrupt fires regardless of what the CPU is
+    /// doing).
+    fn rx_kernel_cost(&self, _len: usize) -> Ns {
+        self.params.udp.rx_interrupt
+    }
+
+    /// Kernel work consumed *serially on the CPU* to deliver one datagram:
+    /// protocol processing, the per-fragment interrupts and bookkeeping
+    /// beyond the first, the copy into the socket buffer and the copy out
+    /// to user space. This is what caps sockets-over-GM streaming
+    /// bandwidth well below the wire.
+    fn rx_consume_cost(&self, len: usize) -> Ns {
+        let p = &self.params;
+        let frags = self.fragments(len);
+        p.udp.rx_proto
+            + Ns((p.udp.per_fragment.0 + p.udp.rx_interrupt.0) * (frags - 1))
+            + Ns::for_bytes(len, p.host.memcpy_mb_s) * 2
+    }
+
+    /// Pull NIC arrivals into socket buffers.
+    fn drain(&mut self) {
+        // Collect bound ports first (borrow discipline).
+        let ports: Vec<u16> = self.sockets.iter().map(|s| s.port).collect();
+        for port in ports {
+            while let Some(pkt) = self.nic.poll_port(SOCKET_PORT_BASE + port) {
+                let ready = pkt.arrival + self.rx_kernel_cost(pkt.payload.len());
+                let sock = self
+                    .sockets
+                    .iter_mut()
+                    .find(|s| s.port == port)
+                    .expect("bound");
+                if sock.queue.len() >= SOCKBUF_DATAGRAMS {
+                    // Socket buffer overflow: silently dropped, like real UDP.
+                    self.drops += 1;
+                    continue;
+                }
+                sock.queue.push_back(Datagram {
+                    src: pkt.src,
+                    src_port: pkt.src_port - SOCKET_PORT_BASE,
+                    data: pkt.payload,
+                    ready,
+                });
+            }
+        }
+    }
+
+    fn sock_mut(&mut self, port: u16) -> &mut SocketState {
+        self.sockets
+            .iter_mut()
+            .find(|s| s.port == port)
+            .unwrap_or_else(|| panic!("port {port} not bound"))
+    }
+
+    /// Non-blocking `recvfrom(MSG_DONTWAIT)`: returns a datagram whose
+    /// kernel processing completed by the node's current virtual time.
+    pub fn try_recvfrom(&mut self, port: u16) -> Option<Datagram> {
+        self.drain();
+        let now = self.clock.borrow().now();
+        let syscall = self.params.host.syscall;
+        let sock = self.sock_mut(port);
+        if sock.queue.front().is_some_and(|d| d.ready <= now) {
+            let d = sock.queue.pop_front().expect("non-empty");
+            // recvfrom syscall + the serial kernel delivery work.
+            let consume = self.rx_consume_cost(d.data.len());
+            self.clock.borrow_mut().advance(syscall + consume);
+            let mut c = self.clock.borrow_mut();
+            c.stats.msgs_recv += 1;
+            c.stats.bytes_recv += d.data.len() as u64;
+            Some(d)
+        } else {
+            self.clock.borrow_mut().advance(syscall);
+            None
+        }
+    }
+
+    /// Earliest-ready datagram across `ports`, if any is queued (ignoring
+    /// virtual readiness — used by blocking paths which then wait).
+    fn earliest_queued(&mut self, ports: &[u16]) -> Option<(u16, Ns)> {
+        self.drain();
+        let mut best: Option<(u16, Ns)> = None;
+        for s in &self.sockets {
+            if ports.contains(&s.port) {
+                if let Some(d) = s.queue.front() {
+                    if best.is_none_or(|(_, r)| d.ready < r) {
+                        best = Some((s.port, d.ready));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Blocking `recvfrom()` on one port.
+    pub fn recvfrom(&mut self, port: u16) -> Datagram {
+        self.recv_any(&[port]).1
+    }
+
+    /// `select()` + `recvfrom()`: block until a datagram is available on
+    /// any of `ports`. Charges the select syscall and a scheduler wakeup
+    /// if the process actually slept.
+    pub fn recv_any(&mut self, ports: &[u16]) -> (u16, Datagram) {
+        let p = self.params.clone();
+        self.clock.borrow_mut().advance(p.host.syscall); // select()
+        loop {
+            if let Some((port, ready)) = self.earliest_queued(ports) {
+                let was_waiting = {
+                    let mut c = self.clock.borrow_mut();
+                    let waited = ready > c.now();
+                    c.wait_until(ready);
+                    waited
+                };
+                if was_waiting {
+                    // The kernel had to wake us.
+                    self.clock.borrow_mut().advance(p.host.sched_wakeup);
+                }
+                let syscall = p.host.syscall;
+                let sock = self.sock_mut(port);
+                let d = sock.queue.pop_front().expect("non-empty");
+                let consume = self.rx_consume_cost(d.data.len());
+                self.clock.borrow_mut().advance(syscall + consume);
+                let mut c = self.clock.borrow_mut();
+                c.stats.msgs_recv += 1;
+                c.stats.bytes_recv += d.data.len() as u64;
+                drop(c);
+                return (port, d);
+            }
+            // Park on the NIC channel until something arrives for us.
+            let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
+            let pkt = self.nic.recv_any_blocking(&filter);
+            let ready = pkt.arrival + self.rx_kernel_cost(pkt.payload.len());
+            let port = pkt.dst_port - SOCKET_PORT_BASE;
+            let sock = self.sock_mut(port);
+            if sock.queue.len() >= SOCKBUF_DATAGRAMS {
+                self.drops += 1;
+                continue;
+            }
+            sock.queue.push_back(Datagram {
+                src: pkt.src,
+                src_port: pkt.src_port - SOCKET_PORT_BASE,
+                data: pkt.payload,
+                ready,
+            });
+        }
+    }
+
+    /// Like [`recv_any`] but gives up after `real_timeout` of *wall-clock*
+    /// silence — the escape hatch the DSM substrate uses to retransmit
+    /// when the loss model is active. Returns `None` on timeout.
+    pub fn recv_any_timeout(
+        &mut self,
+        ports: &[u16],
+        real_timeout: std::time::Duration,
+    ) -> Option<(u16, Datagram)> {
+        let deadline = std::time::Instant::now() + real_timeout;
+        loop {
+            if self.earliest_queued(ports).is_some() {
+                return Some(self.recv_any(ports));
+            }
+            if std::time::Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Does any bound SIGIO socket have traffic (regardless of virtual
+    /// readiness)? The substrate uses this to decide whether a signal
+    /// would have been raised.
+    pub fn sigio_pending(&mut self) -> bool {
+        self.drain();
+        self.sockets
+            .iter()
+            .any(|s| s.sigio && !s.queue.is_empty())
+    }
+
+    /// Peek the earliest ready-time on a port without consuming.
+    pub fn peek_ready(&mut self, port: u16) -> Option<Ns> {
+        self.drain();
+        self.sockets
+            .iter()
+            .find(|s| s.port == port)
+            .and_then(|s| s.queue.front().map(|d| d.ready))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tm_myrinet::Fabric;
+    use tm_sim::clock::shared_clock;
+
+    fn stacks(n: usize) -> Vec<UdpStack> {
+        let params = Arc::new(SimParams::paper_testbed());
+        let (_fabric, nics) = Fabric::new(n, Arc::clone(&params));
+        nics.into_iter()
+            .map(|nic| UdpStack::new(nic, shared_clock(), Arc::clone(&params)))
+            .collect()
+    }
+
+    #[test]
+    fn sendto_recvfrom_roundtrip() {
+        let mut s = stacks(2);
+        let (mut a, mut b) = {
+            let b = s.pop().unwrap();
+            (s.pop().unwrap(), b)
+        };
+        a.bind(7, false);
+        b.bind(9, false);
+        a.sendto(1, 9, 7, b"ping");
+        let d = b.recvfrom(9);
+        assert_eq!(&d.data[..], b"ping");
+        assert_eq!(d.src, 0);
+        assert_eq!(d.src_port, 7);
+        // UDP latency must be well above raw GM's ~9us.
+        assert!(b.clock().borrow().now() > Ns::from_us(15));
+    }
+
+    #[test]
+    fn nonblocking_respects_virtual_time() {
+        let mut s = stacks(2);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        a.sendto(1, 2, 1, b"x");
+        assert!(b.try_recvfrom(2).is_none(), "kernel path not done yet");
+        b.clock().borrow_mut().advance(Ns::from_us(200));
+        assert!(b.try_recvfrom(2).is_some());
+    }
+
+    #[test]
+    fn recv_any_selects_earliest() {
+        let mut s = stacks(2);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        b.bind(3, false);
+        a.sendto(1, 2, 1, b"first");
+        a.sendto(1, 3, 1, b"second");
+        let (port, d) = b.recv_any(&[2, 3]);
+        assert_eq!(port, 2);
+        assert_eq!(&d.data[..], b"first");
+    }
+
+    #[test]
+    fn drop_probability_loses_datagrams() {
+        let params = {
+            let mut p = SimParams::paper_testbed();
+            p.udp.drop_probability = 1.0;
+            Arc::new(p)
+        };
+        let (_f, mut nics) = Fabric::new(2, Arc::clone(&params));
+        let mut b = UdpStack::new(nics.pop().unwrap(), shared_clock(), Arc::clone(&params));
+        let mut a = UdpStack::new(nics.pop().unwrap(), shared_clock(), params);
+        a.bind(1, false);
+        b.bind(2, false);
+        a.sendto(1, 2, 1, b"doomed");
+        assert_eq!(a.drops, 1);
+        b.clock().borrow_mut().advance(Ns::from_ms(10));
+        assert!(b.try_recvfrom(2).is_none());
+    }
+
+    #[test]
+    fn recv_timeout_returns_none_when_silent() {
+        let mut s = stacks(2);
+        let mut b = s.pop().unwrap();
+        b.bind(2, false);
+        let got = b.recv_any_timeout(&[2], std::time::Duration::from_millis(20));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn sigio_pending_only_for_async_sockets() {
+        let mut s = stacks(2);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false); // synchronous socket
+        b.bind(3, true); // SIGIO socket
+        a.sendto(1, 2, 1, b"sync");
+        assert!(!b.sigio_pending());
+        a.sendto(1, 3, 1, b"async");
+        assert!(b.sigio_pending());
+    }
+
+    #[test]
+    fn large_datagram_charges_fragment_costs() {
+        let mut s = stacks(2);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        let t0 = a.clock().borrow().now();
+        a.sendto(1, 2, 1, &vec![0u8; 32 * 1024]);
+        let tx_cost = a.clock().borrow().now() - t0;
+        // 8 fragments: 7 * per_fragment beyond base costs.
+        assert!(tx_cost > Ns::from_us(14), "tx cost {tx_cost}");
+        let d = b.recvfrom(2);
+        assert_eq!(d.data.len(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "already bound")]
+    fn double_bind_panics() {
+        let mut s = stacks(1);
+        let mut a = s.pop().unwrap();
+        a.bind(5, false);
+        a.bind(5, false);
+    }
+}

@@ -1,0 +1,52 @@
+//! Jacobi relaxation on both communication subsystems.
+//!
+//! Runs the paper's barrier-only workhorse on 8 nodes over UDP/GM and
+//! FAST/GM, validates both against the sequential solver, and prints the
+//! execution-time comparison — a single cell of the paper's Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example jacobi_cluster
+//! ```
+
+use std::sync::Arc;
+
+use tm_apps::{jacobi_parallel, jacobi_seq, JacobiConfig};
+use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
+use tm_sim::runner::cluster_time;
+use tm_sim::SimParams;
+use tmk::TmkConfig;
+
+fn main() {
+    let cfg = JacobiConfig::new(512, 10);
+    let want = jacobi_seq(&cfg);
+    println!("sequential checksum: {want}");
+
+    let params = Arc::new(SimParams::paper_testbed());
+
+    let c = cfg.clone();
+    let fast = run_fast_dsm(
+        8,
+        Arc::clone(&params),
+        FastConfig::paper(&params),
+        TmkConfig::default(),
+        move |tmk| jacobi_parallel(tmk, &c),
+    );
+    let c = cfg.clone();
+    let udp = run_udp_dsm(8, params, TmkConfig::default(), move |tmk| {
+        jacobi_parallel(tmk, &c)
+    });
+
+    for o in fast.iter().chain(udp.iter()) {
+        assert_eq!(o.result, want, "node {} diverged", o.id);
+    }
+    let tf = cluster_time(&fast);
+    let tu = cluster_time(&udp);
+    println!("FAST/GM x8: {tf}");
+    println!("UDP/GM  x8: {tu}");
+    println!("improvement: {:.2}x", tu.0 as f64 / tf.0 as f64);
+    let agg = tm_sim::runner::cluster_stats(&fast);
+    println!(
+        "FAST cluster totals: {} msgs, {} diffs created, {} pages fetched",
+        agg.msgs_sent, agg.diffs_created, agg.pages_fetched
+    );
+}

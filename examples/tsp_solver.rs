@@ -1,0 +1,44 @@
+//! Branch-and-bound TSP over the shared work queue.
+//!
+//! The lock-heavy member of the suite: watch the remote-acquire counters
+//! to see the migratory lock traffic the paper's Lock microbenchmark
+//! prices. The optimal tour length is validated against the sequential
+//! solver.
+//!
+//! ```sh
+//! cargo run --release --example tsp_solver
+//! ```
+
+use std::sync::Arc;
+
+use tm_apps::{tsp_parallel, tsp_seq, TspConfig};
+use tm_fast::{run_fast_dsm, FastConfig};
+use tm_sim::runner::{cluster_stats, cluster_time};
+use tm_sim::SimParams;
+use tmk::TmkConfig;
+
+fn main() {
+    let cfg = TspConfig::new(11);
+    let want = tsp_seq(&cfg);
+    println!("sequential optimum: {want}");
+
+    let params = Arc::new(SimParams::paper_testbed());
+    let c = cfg.clone();
+    let out = run_fast_dsm(
+        8,
+        Arc::clone(&params),
+        FastConfig::paper(&params),
+        TmkConfig::default(),
+        move |tmk| tsp_parallel(tmk, &c),
+    );
+    for o in &out {
+        assert_eq!(o.result, want, "node {} found a different optimum", o.id);
+    }
+    println!("parallel optimum:  {} (all nodes agree)", out[0].result);
+    println!("FAST/GM x8 time:   {}", cluster_time(&out));
+    let agg = cluster_stats(&out);
+    println!(
+        "lock traffic: {} remote acquires, {} requests served, {} msgs",
+        agg.remote_acquires, agg.requests_served, agg.msgs_sent
+    );
+}
