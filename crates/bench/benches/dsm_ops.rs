@@ -6,8 +6,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 
-use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
+use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig, FastSubstrate};
+use tm_gm::gm_cluster;
+use tm_sim::clock::shared_clock;
 use tm_sim::SimParams;
+use tmk::diff::Diff;
+use tmk::wire::{pool, WireWriter};
 use tmk::{Substrate, Tmk, TmkConfig};
 
 fn barrier_round<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
@@ -56,5 +60,69 @@ fn bench_cluster_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cluster_ops);
+/// A 4 KiB twin/current pair with sparse writes (one dirtied word every
+/// 256 bytes) — the Figure 3 "Diff" shape.
+fn sparse_page() -> (Vec<u8>, Vec<u8>) {
+    let twin = vec![0u8; 4096];
+    let mut cur = twin.clone();
+    for i in (0..cur.len()).step_by(256) {
+        cur[i] = 0xA5;
+    }
+    (twin, cur)
+}
+
+fn bench_diff_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    let (twin, cur) = sparse_page();
+    g.bench_function("create_4k_sparse", |b| b.iter(|| Diff::create(&twin, &cur)));
+    g.bench_function("create_scalar_4k_sparse", |b| {
+        b.iter(|| Diff::create_scalar(&twin, &cur))
+    });
+    g.bench_function("create_into_4k_sparse", |b| {
+        b.iter(|| {
+            let mut w = WireWriter::pooled(512);
+            let runs = Diff::create_into(&twin, &cur, &mut w);
+            w.recycle();
+            runs
+        })
+    });
+    let d = Diff::create(&twin, &cur);
+    let mut page = twin.clone();
+    g.bench_function("apply_4k_sparse", |b| b.iter(|| d.apply(&mut page)));
+    g.finish();
+}
+
+fn bench_framing_ops(c: &mut Criterion) {
+    let params = Arc::new(SimParams::paper_testbed());
+    let (_f, board, mut nics) = gm_cluster(2, Arc::clone(&params));
+    let cfg = FastConfig::paper(&params);
+    let mut rx = FastSubstrate::new(
+        nics.pop().unwrap(),
+        shared_clock(),
+        Arc::clone(&params),
+        Arc::clone(&board),
+        cfg.clone(),
+    );
+    let mut tx = FastSubstrate::new(nics.pop().unwrap(), shared_clock(), params, board, cfg);
+    let small = [7u8; 64];
+    let large = vec![3u8; 64 * 1024]; // > 32 KiB frame limit: fragments
+    let mut g = c.benchmark_group("framing");
+    g.bench_function("fast_frame_64B_roundtrip", |b| {
+        b.iter(|| {
+            tx.send_request(1, &small);
+            let m = rx.next_incoming();
+            pool::give(m.data);
+        })
+    });
+    g.bench_function("fast_fragmented_64KiB_roundtrip", |b| {
+        b.iter(|| {
+            tx.send_request(1, &large);
+            let m = rx.next_incoming();
+            pool::give(m.data);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff_ops, bench_framing_ops, bench_cluster_ops);
 criterion_main!(benches);

@@ -136,27 +136,28 @@ impl Page {
         }
     }
 
-    /// Diffs with `lo <= seq <= hi`, or `None` if any in that range was
-    /// already garbage collected.
-    pub fn diffs_in(&self, lo: u32, hi: u32) -> Option<Vec<(u32, Diff)>> {
-        let have_lo = self.my_diffs.first().map(|(s, _)| *s);
-        match have_lo {
-            _ if self.my_diffs.is_empty() => {
-                if lo > hi {
-                    Some(Vec::new())
-                } else {
-                    None
-                }
-            }
-            Some(first) if first > lo => None,
-            _ => Some(
-                self.my_diffs
-                    .iter()
-                    .filter(|(s, _)| *s >= lo && *s <= hi)
-                    .cloned()
-                    .collect(),
-            ),
+    /// Diffs with `lo <= seq <= hi`, borrowed (no per-diff clone), or
+    /// `None` if any in that range was already garbage collected.
+    /// `my_diffs` is sorted by seq (appended monotonically), so the answer
+    /// is a contiguous slice.
+    pub fn diffs_range(&self, lo: u32, hi: u32) -> Option<&[(u32, Diff)]> {
+        if self.my_diffs.is_empty() {
+            return if lo > hi { Some(&[]) } else { None };
         }
+        if self.my_diffs[0].0 > lo {
+            return None;
+        }
+        let a = self.my_diffs.partition_point(|(s, _)| *s < lo);
+        let b = self.my_diffs.partition_point(|(s, _)| *s <= hi).max(a);
+        Some(&self.my_diffs[a..b])
+    }
+
+    /// Owned variant of [`diffs_range`] (kept for tests and callers that
+    /// need the diffs to outlive the page borrow).
+    ///
+    /// [`diffs_range`]: Page::diffs_range
+    pub fn diffs_in(&self, lo: u32, hi: u32) -> Option<Vec<(u32, Diff)>> {
+        self.diffs_range(lo, hi).map(<[_]>::to_vec)
     }
 }
 

@@ -76,7 +76,7 @@ pub enum Response {
     ZeroPage { page: PageId, applied: Vec<u32> },
 }
 
-fn encode_applied(applied: &[u32], w: &mut WireWriter) {
+pub(crate) fn encode_applied(applied: &[u32], w: &mut WireWriter) {
     w.u16(applied.len() as u16);
     for &a in applied {
         w.u32(a);
@@ -96,6 +96,13 @@ impl Request {
     /// Encode with the correlation id envelope.
     pub fn encode(&self, rid: u32) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(64);
+        self.encode_into(rid, &mut w);
+        w.finish()
+    }
+
+    /// Encode into an existing (typically pooled) writer — the
+    /// allocation-free path the runtime's send loops use.
+    pub fn encode_into(&self, rid: u32, w: &mut WireWriter) {
         w.u32(rid);
         match self {
             Request::Diff { page, lo, hi } => {
@@ -106,7 +113,7 @@ impl Request {
             }
             Request::Acquire { lock, vc } => {
                 w.u8(3).u32(*lock);
-                vc.encode(&mut w);
+                vc.encode(w);
             }
             Request::AcquireFwd {
                 lock,
@@ -115,7 +122,7 @@ impl Request {
                 vc,
             } => {
                 w.u8(4).u32(*lock).u16(*requester).u32(*orig);
-                vc.encode(&mut w);
+                vc.encode(w);
             }
             Request::BarrierArrive {
                 barrier,
@@ -123,11 +130,10 @@ impl Request {
                 records,
             } => {
                 w.u8(5).u32(*barrier);
-                vc.encode(&mut w);
-                encode_records(records, &mut w);
+                vc.encode(w);
+                encode_records(records, w);
             }
         }
-        w.finish()
     }
 
     /// Decode; returns `(rid, request)`.
@@ -165,6 +171,12 @@ impl Request {
 impl Response {
     pub fn encode(&self, rid: u32) -> Vec<u8> {
         let mut w = WireWriter::with_capacity(128);
+        self.encode_into(rid, &mut w);
+        w.finish()
+    }
+
+    /// Encode into an existing (typically pooled) writer.
+    pub fn encode_into(&self, rid: u32, w: &mut WireWriter) {
         w.u32(rid);
         match self {
             Response::Diffs {
@@ -175,7 +187,7 @@ impl Response {
                 w.u8(1).u32(*page).u32(*covered_hi).u16(diffs.len() as u16);
                 for (seq, d) in diffs {
                     w.u32(*seq);
-                    d.encode(&mut w);
+                    d.encode(w);
                 }
             }
             Response::FullPage {
@@ -184,25 +196,24 @@ impl Response {
                 data,
             } => {
                 w.u8(2).u32(*page);
-                encode_applied(applied, &mut w);
+                encode_applied(applied, w);
                 w.bytes(data);
             }
             Response::Grant { lock, vc, records } => {
                 w.u8(3).u32(*lock);
-                vc.encode(&mut w);
-                encode_records(records, &mut w);
+                vc.encode(w);
+                encode_records(records, w);
             }
             Response::BarrierRelease { vc, records } => {
                 w.u8(4);
-                vc.encode(&mut w);
-                encode_records(records, &mut w);
+                vc.encode(w);
+                encode_records(records, w);
             }
             Response::ZeroPage { page, applied } => {
                 w.u8(5).u32(*page);
-                encode_applied(applied, &mut w);
+                encode_applied(applied, w);
             }
         }
-        w.finish()
     }
 
     pub fn decode(buf: &[u8]) -> Option<(u32, Response)> {

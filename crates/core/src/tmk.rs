@@ -21,6 +21,7 @@ use crate::page::{Access, Page, PageId, Pending};
 use crate::protocol::{Request, Response};
 use crate::substrate::{Chan, Substrate};
 use crate::vc::VectorClock;
+use crate::wire::{pool, WireWriter};
 
 /// Handle to a shared allocation (returned by [`Tmk::malloc`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,6 +238,7 @@ impl<S: Substrate> Tmk<S> {
             } else {
                 Diff::create(&twin, &page.data)
             };
+            pool::give(twin); // twin buffers cycle through the pool
             cost += Ns::for_bytes(self.page_size, params.dsm.diff_scan_mb_s)
                 + params.dsm.diff_overhead
                 + params.dsm.mprotect;
@@ -262,18 +264,28 @@ impl<S: Substrate> Tmk<S> {
     }
 
     /// Incorporate interval records learned from a grant or release:
-    /// insert into the log and invalidate the named pages.
+    /// insert into the log and invalidate the named pages. Records move
+    /// straight through — novelty is checked up front so nothing is
+    /// cloned just to find out the log already had it.
     fn apply_records(&mut self, records: Vec<IntervalRecord>) -> Ns {
-        let mut fresh = Vec::new();
+        let mut fresh: Vec<IntervalRecord> = Vec::with_capacity(records.len());
         for rec in records {
             trace!(self, "record n{} seq={} pages={:?}", rec.node, rec.seq, rec.pages);
-            if self.log.insert(rec.clone()) {
-                fresh.push(rec);
-            } else {
+            // Novelty check covers both the log and this batch: barrier
+            // arrivals from different clients often relay the same record.
+            if self.log.contains(rec.node, rec.seq)
+                || fresh.iter().any(|f| f.node == rec.node && f.seq == rec.seq)
+            {
                 trace!(self, "record n{} seq={} already known", rec.node, rec.seq);
+            } else {
+                fresh.push(rec);
             }
         }
-        self.notice_records(&fresh)
+        let cost = self.notice_records(&fresh);
+        for rec in fresh {
+            self.log.insert(rec);
+        }
+        cost
     }
 
     /// Invalidate pages named by `records`' write notices.
@@ -317,15 +329,20 @@ impl<S: Substrate> Tmk<S> {
         match req {
             Request::Diff { page, lo, hi } => {
                 self.ensure_pages(page as usize + 1);
-                let (resp, c) = self.make_diff_response(page, lo, hi);
+                // Encode straight into a pooled frame: the diffs are
+                // serialized from the page's retained list by reference,
+                // never materialized as an owned Response.
+                let mut w = WireWriter::pooled(256);
+                let c = self.encode_diff_response(rid, page, lo, hi, &mut w);
                 cost += c;
-                self.respond(from, rid, resp, arrival, cost);
+                self.respond_wire(from, w, arrival, cost);
             }
             Request::Page { page } => {
                 self.ensure_pages(page as usize + 1);
-                let (resp, c) = self.make_page_response(page);
+                let mut w = WireWriter::pooled(self.page_size + 32);
+                let c = self.encode_full_page(rid, page, &mut w);
                 cost += c;
-                self.respond(from, rid, resp, arrival, cost);
+                self.respond_wire(from, w, arrival, cost);
             }
             Request::Acquire { lock, vc } => {
                 self.ensure_lock(lock);
@@ -358,10 +375,12 @@ impl<S: Substrate> Tmk<S> {
                         vc,
                     };
                     let fwd_rid = self.rid();
-                    let buf = fwd.encode(fwd_rid);
-                    cost += self.sub.response_cost(buf.len());
+                    let mut w = WireWriter::pooled(64);
+                    fwd.encode_into(fwd_rid, &mut w);
+                    cost += self.sub.response_cost(w.len());
                     let finish = self.charge_service(arrival, cost);
-                    self.sub.send_request_at(owner, &buf, finish);
+                    self.sub.send_request_at(owner, w.as_slice(), finish);
+                    w.recycle();
                 }
             }
             Request::AcquireFwd {
@@ -414,7 +433,7 @@ impl<S: Substrate> Tmk<S> {
                     self.barrier.arrived[from] = true;
                     self.barrier.count += 1;
                 }
-                self.barrier.clients[from] = Some((rid, vc.clone()));
+                self.barrier.clients[from] = Some((rid, vc));
                 self.charge_service(arrival, cost);
             }
         }
@@ -430,67 +449,78 @@ impl<S: Substrate> Tmk<S> {
     }
 
     /// Charge the service window and emit the response at its completion.
-    fn respond(&mut self, to: usize, rid: u32, resp: Response, arrival: Ns, mut cost: Ns) {
-        let buf = resp.encode(rid);
-        cost += self.sub.response_cost(buf.len());
-        let finish = self.charge_service(arrival, cost);
-        self.sub.send_response_at(to, &buf, finish);
+    fn respond(&mut self, to: usize, rid: u32, resp: Response, arrival: Ns, cost: Ns) {
+        let mut w = WireWriter::pooled(128);
+        resp.encode_into(rid, &mut w);
+        self.respond_wire(to, w, arrival, cost);
     }
 
-    fn make_diff_response(&mut self, pid: PageId, lo: u32, hi: u32) -> (Response, Ns) {
-        let params = self.sub.params().clone();
+    /// Emit an already-encoded response at service completion, returning
+    /// the frame buffer to the pool after the substrate copies it out.
+    fn respond_wire(&mut self, to: usize, w: WireWriter, arrival: Ns, mut cost: Ns) {
+        cost += self.sub.response_cost(w.len());
+        let finish = self.charge_service(arrival, cost);
+        self.sub.send_response_at(to, w.as_slice(), finish);
+        w.recycle();
+    }
+
+    /// Encode a `Diffs` response directly from the page's retained diff
+    /// list (borrowed — no `Vec<(u32, Diff)>` clone). Byte-identical to
+    /// `Response::Diffs { .. }.encode(rid)`.
+    fn encode_diff_response(
+        &self,
+        rid: u32,
+        pid: PageId,
+        lo: u32,
+        hi: u32,
+        w: &mut WireWriter,
+    ) -> Ns {
+        let params = self.sub.params();
         let max = self.sub.max_msg();
         let page = &self.pages[pid as usize];
-        match page.diffs_in(lo, hi) {
+        match page.diffs_range(lo, hi) {
             Some(all) => {
                 // Chunk to the substrate's message limit; the requester
-                // re-requests the remainder.
+                // re-requests the remainder. First pass picks the cut.
                 let total = all.len();
-                let mut out = Vec::new();
+                let mut take = 0usize;
                 let mut sz = 16usize;
                 let mut cost = Ns::ZERO;
-                for (seq, d) in all {
+                for (_, d) in all {
                     let dl = d.encoded_len() + 4;
-                    if !out.is_empty() && sz + dl > max {
+                    if take > 0 && sz + dl > max {
                         break;
                     }
                     sz += dl;
                     cost += params.dsm.diff_overhead
                         + Ns::for_bytes(d.payload_bytes(), params.host.memcpy_mb_s);
-                    out.push((seq, d));
+                    take += 1;
                 }
                 // Everything fit: the whole range is settled; truncated:
                 // settled up to the last included diff.
-                let covered_hi = if out.len() == total {
+                let covered_hi = if take == total {
                     hi
                 } else {
-                    out.last().map(|(s, _)| *s).unwrap_or(lo)
+                    all[..take].last().map(|(s, _)| *s).unwrap_or(lo)
                 };
-                (
-                    Response::Diffs {
-                        page: pid,
-                        covered_hi,
-                        diffs: out,
-                    },
-                    cost,
-                )
+                w.u32(rid).u8(1).u32(pid).u32(covered_hi).u16(take as u16);
+                for (seq, d) in &all[..take] {
+                    w.u32(*seq);
+                    d.encode(w);
+                }
+                cost
             }
-            None => {
-                // Requested diffs were GC'd: fall back to a full page.
-                let (resp, cost) = self.full_page_of(pid);
-                (resp, cost)
-            }
+            // Requested diffs were GC'd: fall back to a full page.
+            None => self.encode_full_page(rid, pid, w),
         }
     }
 
-    fn make_page_response(&mut self, pid: PageId) -> (Response, Ns) {
-        self.full_page_of(pid)
-    }
-
-    /// The stable copy of a page (the twin if the current interval is
-    /// writing it) plus its applied vector. All-zero pages (freshly
-    /// allocated memory on first touch) travel as a compact marker.
-    fn full_page_of(&self, pid: PageId) -> (Response, Ns) {
+    /// Encode the stable copy of a page (the twin if the current interval
+    /// is writing it) plus its applied vector, straight from the page's
+    /// buffers. All-zero pages (freshly allocated memory on first touch)
+    /// travel as a compact marker. Byte-identical to encoding
+    /// `Response::FullPage`/`Response::ZeroPage`.
+    fn encode_full_page(&self, rid: u32, pid: PageId, w: &mut WireWriter) -> Ns {
         let params = self.sub.params();
         let page = &self.pages[pid as usize];
         assert!(
@@ -500,24 +530,15 @@ impl<S: Substrate> Tmk<S> {
         );
         let stable = page.twin.as_deref().unwrap_or(&page.data);
         let scan = Ns::for_bytes(stable.len(), params.dsm.diff_scan_mb_s);
-        if stable.iter().all(|&b| b == 0) {
-            return (
-                Response::ZeroPage {
-                    page: pid,
-                    applied: page.applied.clone(),
-                },
-                scan,
-            );
+        if crate::diff::is_all_zero(stable) {
+            w.u32(rid).u8(5).u32(pid);
+            crate::protocol::encode_applied(&page.applied, w);
+            return scan;
         }
-        let cost = scan + Ns::for_bytes(stable.len(), params.host.memcpy_mb_s);
-        (
-            Response::FullPage {
-                page: pid,
-                applied: page.applied.clone(),
-                data: stable.to_vec(),
-            },
-            cost,
-        )
+        w.u32(rid).u8(2).u32(pid);
+        crate::protocol::encode_applied(&page.applied, w);
+        w.bytes(stable);
+        scan + Ns::for_bytes(stable.len(), params.host.memcpy_mb_s)
     }
 
     fn make_grant(&mut self, lock: u32, rvc: &VectorClock) -> (Response, Ns) {
@@ -542,8 +563,10 @@ impl<S: Substrate> Tmk<S> {
     fn rpc(&mut self, to: usize, req: Request) -> Response {
         let rid = self.rid();
         trace!(self, "rpc to={to} rid={rid} req={req:?}");
-        let buf = req.encode(rid);
-        self.sub.send_request(to, &buf);
+        let mut w = WireWriter::pooled(64);
+        req.encode_into(rid, &mut w);
+        self.sub.send_request(to, w.as_slice());
+        w.recycle();
         self.clock().borrow_mut().begin_wait();
         loop {
             let msg = self.sub.next_incoming();
@@ -556,10 +579,12 @@ impl<S: Substrate> Tmk<S> {
                         "node {}: response correlation mismatch",
                         self.me
                     );
+                    pool::give(msg.data);
                     return resp;
                 }
                 Chan::Request => {
                     self.serve(msg.from, &msg.data, msg.arrival);
+                    pool::give(msg.data);
                     self.clock().borrow_mut().begin_wait();
                 }
             }
@@ -572,6 +597,7 @@ impl<S: Substrate> Tmk<S> {
     pub fn poll_serve(&mut self) {
         while let Some(msg) = self.sub.poll_request() {
             self.serve(msg.from, &msg.data, msg.arrival);
+            pool::give(msg.data);
         }
     }
 
@@ -601,8 +627,11 @@ impl<S: Substrate> Tmk<S> {
         let params = self.sub.params().clone();
         let page = &mut self.pages[pid as usize];
         if page.state == Access::Read {
-            // Write fault: twin the page.
-            page.twin = Some(page.data.clone());
+            // Write fault: twin the page into a pooled buffer (twins are
+            // created and retired every interval — prime churn).
+            let mut twin = pool::take(page.data.len());
+            twin.extend_from_slice(&page.data);
+            page.twin = Some(twin);
             page.state = Access::Write;
             self.dirty.push(pid);
             let mut c = self.clock().borrow_mut();
@@ -655,26 +684,30 @@ impl<S: Substrate> Tmk<S> {
         let me = self.me as usize;
         let n = self.n;
         let page = &mut self.pages[pid as usize];
-        let old_applied = page.applied.clone();
         if let Some(twin) = page.twin.take() {
             // We hold uncommitted writes: replay them on the new base.
             let own = Diff::create(&twin, &page.data);
+            pool::give(twin);
             cost += Ns::for_bytes(self.page_size, params.dsm.diff_scan_mb_s);
-            page.data = data.clone();
-            let mut new_twin = data;
-            new_twin.truncate(self.page_size);
+            // One copy (data -> new twin) is inherent — page and twin are
+            // distinct buffers — but it lands in a pooled one, and the
+            // displaced page buffer goes back to the pool.
+            let mut new_twin = pool::take(self.page_size);
+            new_twin.extend_from_slice(&data[..self.page_size.min(data.len())]);
+            pool::give(std::mem::replace(&mut page.data, data));
             page.twin = Some(new_twin);
             own.apply(&mut page.data);
         } else {
-            page.data = data;
+            pool::give(std::mem::replace(&mut page.data, data));
         }
         // Adopt the responder's view…
-        page.applied = applied;
-        // …then repair our own axis from locally retained diffs.
+        let old_applied = std::mem::replace(&mut page.applied, applied);
+        // …then repair our own axis from locally retained diffs (applied
+        // by reference: my_diffs and data are disjoint fields).
         if old_applied[me] > page.applied[me] {
             let lo = page.applied[me];
-            for (seq, d) in page.my_diffs.clone() {
-                if seq > lo && seq <= old_applied[me] {
+            for (seq, d) in &page.my_diffs {
+                if *seq > lo && *seq <= old_applied[me] {
                     d.apply(&mut page.data);
                     if let Some(t) = page.twin.as_mut() {
                         d.apply(t);
@@ -698,9 +731,10 @@ impl<S: Substrate> Tmk<S> {
                 }
             }
         }
-        let applied_now = page.applied.clone();
-        page.pending
-            .retain(|p| p.seq > applied_now[p.node as usize]);
+        let Page {
+            pending, applied, ..
+        } = page;
+        pending.retain(|p| p.seq > applied[p.node as usize]);
         page.state = match (page.twin.is_some(), page.pending.is_empty()) {
             (true, true) => Access::Write,
             (true, false) => Access::WriteInvalid,
@@ -936,8 +970,10 @@ impl<S: Substrate> Tmk<S> {
             };
             // Manually run the rpc with the chosen rid so the grant
             // correlates.
-            let buf = req.encode(rid);
-            self.sub.send_request(owner, &buf);
+            let mut w = WireWriter::pooled(64);
+            req.encode_into(rid, &mut w);
+            self.sub.send_request(owner, w.as_slice());
+            w.recycle();
             self.clock().borrow_mut().begin_wait();
             loop {
                 let msg = self.sub.next_incoming();
@@ -946,10 +982,12 @@ impl<S: Substrate> Tmk<S> {
                         let (got, resp) =
                             Response::decode(&msg.data).expect("malformed response");
                         assert_eq!(got, rid);
+                        pool::give(msg.data);
                         break resp;
                     }
                     Chan::Request => {
                         self.serve(msg.from, &msg.data, msg.arrival);
+                        pool::give(msg.data);
                         self.clock().borrow_mut().begin_wait();
                     }
                 }
@@ -1002,11 +1040,13 @@ impl<S: Substrate> Tmk<S> {
         };
         let (resp, cost) = self.make_grant(lock, &rvc);
         self.locks[lock as usize].have_token = false;
-        let buf = resp.encode(rid);
-        let total = cost + self.sub.response_cost(buf.len());
+        let mut w = WireWriter::pooled(128);
+        resp.encode_into(rid, &mut w);
+        let total = cost + self.sub.response_cost(w.len());
         self.clock().borrow_mut().advance(total);
         let now = self.clock().borrow().now();
-        self.sub.send_response_at(requester as usize, &buf, now);
+        self.sub.send_response_at(requester as usize, w.as_slice(), now);
+        w.recycle();
     }
 
     /// `Tmk_barrier`.
@@ -1056,6 +1096,7 @@ impl<S: Substrate> Tmk<S> {
             match msg.chan {
                 Chan::Request => {
                     self.serve(msg.from, &msg.data, msg.arrival);
+                    pool::give(msg.data);
                     self.clock().borrow_mut().begin_wait();
                 }
                 Chan::Response => panic!("manager got a response inside barrier wait"),
@@ -1063,25 +1104,30 @@ impl<S: Substrate> Tmk<S> {
         }
         // Everyone is here: departure. Incorporate the arrivals' interval
         // records and vector times, invalidate, then release the clients.
-        let episode = std::mem::replace(&mut self.barrier, BarrierEpisode::new(self.n));
-        let apply_cost = self.apply_records(episode.records.clone());
+        // The stashed records move into apply_records — no clone.
+        let BarrierEpisode {
+            records, clients, ..
+        } = std::mem::replace(&mut self.barrier, BarrierEpisode::new(self.n));
+        let apply_cost = self.apply_records(records);
         self.clock().borrow_mut().advance(apply_cost);
-        for slot in episode.clients.iter().flatten() {
+        for slot in clients.iter().flatten() {
             self.vc.join(&slot.1);
         }
         let merged = self.vc.clone();
-        for (node, slot) in episode.clients.into_iter().enumerate() {
+        for (node, slot) in clients.into_iter().enumerate() {
             let Some((rid, cvc)) = slot else { continue };
             let records = self.log.newer_than(&cvc);
             let resp = Response::BarrierRelease {
                 vc: merged.clone(),
                 records,
             };
-            let buf = resp.encode(rid);
-            let cost = self.sub.response_cost(buf.len()) + Ns(500);
+            let mut w = WireWriter::pooled(128);
+            resp.encode_into(rid, &mut w);
+            let cost = self.sub.response_cost(w.len()) + Ns(500);
             self.clock().borrow_mut().advance(cost);
             let now = self.clock().borrow().now();
-            self.sub.send_response_at(node, &buf, now);
+            self.sub.send_response_at(node, w.as_slice(), now);
+            w.recycle();
         }
         self.epoch_gc(merged);
     }
@@ -1175,7 +1221,9 @@ impl<S: Substrate> Tmk<S> {
         }
         let mut cost = params.dsm.page_fault + params.dsm.mprotect;
         if page.twin.is_none() {
-            page.twin = Some(page.data.clone());
+            let mut twin = pool::take(page.data.len());
+            twin.extend_from_slice(&page.data);
+            page.twin = Some(twin);
             self.dirty.push(pid);
             cost += params.dsm.twin_overhead
                 + Ns::for_bytes(self.page_size, params.host.memcpy_mb_s);

@@ -4,6 +4,117 @@
 //! (no self-describing serialization framework, no allocation churn) with a
 //! tiny writer/reader pair. All protocol messages in [`crate::protocol`]
 //! encode through these.
+//!
+//! The [`pool`] module supplies the buffers: a thread-local free-list of
+//! `Vec<u8>` bucketed into power-of-two size classes, directly modeled on
+//! GM's preposted receive buffers (`crates/gm/src/size.rs`, paper §2.1).
+//! Steady-state message construction takes a buffer from the pool, encodes
+//! into it, and recycles it after the send-side copy — zero heap
+//! allocations per message once the pool is warm.
+
+/// Thread-local buffer pool with GM-style power-of-two size classes.
+///
+/// A class `s` holds buffers of capacity `2^s`; `take(cap)` hands out the
+/// smallest class that fits, `give(v)` returns a buffer to its class.
+/// Hit/miss counters make the steady-state zero-allocation property
+/// testable (and observable in benchmarks).
+pub mod pool {
+    use std::cell::RefCell;
+
+    /// Smallest class handed out: `2^6` = 64 bytes (below this, pooling
+    /// costs more than it saves; GM likewise never preposts below size 4).
+    const MIN_CLASS: u32 = 6;
+    /// Largest class retained: `2^20` = 1 MiB (a full TreadMarks barrier
+    /// payload; anything bigger is freed rather than hoarded).
+    const MAX_CLASS: u32 = 20;
+    /// Free-list depth per class, mirroring a NIC's finite prepost ring.
+    const PER_CLASS: usize = 32;
+
+    /// Pool observability counters (monotonic per thread).
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+    pub struct PoolStats {
+        /// `take()` satisfied from the free list (no allocation).
+        pub hits: u64,
+        /// `take()` had to allocate a fresh buffer.
+        pub misses: u64,
+        /// `give()` accepted a buffer back into the free list.
+        pub recycled: u64,
+        /// `give()` dropped a buffer (class full or out of range).
+        pub discarded: u64,
+    }
+
+    struct Pool {
+        classes: Vec<Vec<Vec<u8>>>,
+        stats: PoolStats,
+    }
+
+    thread_local! {
+        static POOL: RefCell<Pool> = RefCell::new(Pool {
+            classes: (0..=MAX_CLASS).map(|_| Vec::new()).collect(),
+            stats: PoolStats::default(),
+        });
+    }
+
+    /// Size class for a requested capacity: smallest `s` with
+    /// `cap <= 2^s`, clamped to `MIN_CLASS` (cf. `gm_size`).
+    fn class_for(cap: usize) -> u32 {
+        let bits = usize::BITS - cap.saturating_sub(1).leading_zeros();
+        bits.max(MIN_CLASS)
+    }
+
+    /// An empty `Vec<u8>` with capacity at least `cap`. Pops from the
+    /// free list when a buffer of the right class is available.
+    pub fn take(cap: usize) -> Vec<u8> {
+        let s = class_for(cap);
+        if s > MAX_CLASS {
+            POOL.with(|p| p.borrow_mut().stats.misses += 1);
+            return Vec::with_capacity(cap);
+        }
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if let Some(mut v) = p.classes[s as usize].pop() {
+                p.stats.hits += 1;
+                v.clear();
+                v
+            } else {
+                p.stats.misses += 1;
+                Vec::with_capacity(1usize << s)
+            }
+        })
+    }
+
+    /// Return a buffer to the pool. Buffers whose class ring is full (or
+    /// whose capacity is out of the pooled range) are simply freed.
+    pub fn give(v: Vec<u8>) {
+        let cap = v.capacity();
+        if cap < (1usize << MIN_CLASS) {
+            POOL.with(|p| p.borrow_mut().stats.discarded += 1);
+            return;
+        }
+        // Floor class: the largest `s` with `2^s <= capacity`, so a
+        // subsequent `take` of up to `2^s` is guaranteed to fit.
+        let s = (usize::BITS - 1 - cap.leading_zeros()).min(MAX_CLASS);
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.classes[s as usize].len() < PER_CLASS {
+                p.stats.recycled += 1;
+                p.classes[s as usize].push(v);
+            } else {
+                p.stats.discarded += 1;
+            }
+        });
+    }
+
+    /// Snapshot this thread's counters.
+    pub fn stats() -> PoolStats {
+        POOL.with(|p| p.borrow().stats)
+    }
+
+    /// Zero the counters (free lists are kept warm).
+    pub fn reset_stats() {
+        POOL.with(|p| p.borrow_mut().stats = PoolStats::default());
+    }
+}
 
 /// Append-only encoder.
 #[derive(Debug, Default)]
@@ -20,6 +131,22 @@ impl WireWriter {
         WireWriter {
             buf: Vec::with_capacity(cap),
         }
+    }
+
+    /// A writer backed by a pooled buffer; pair with [`recycle`] (or
+    /// [`pool::give`] on the finished Vec) to keep the pool warm.
+    ///
+    /// [`recycle`]: WireWriter::recycle
+    pub fn pooled(cap: usize) -> Self {
+        WireWriter {
+            buf: pool::take(cap),
+        }
+    }
+
+    /// Wrap an existing buffer (cleared), reusing its capacity.
+    pub fn reuse(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter { buf }
     }
 
     pub fn u8(&mut self, v: u8) -> &mut Self {
@@ -55,6 +182,24 @@ impl WireWriter {
         self
     }
 
+    /// Reserve a u16 slot to be filled in later (e.g. a run count that is
+    /// only known after streaming the runs). Returns the slot's offset for
+    /// [`patch_u16`].
+    ///
+    /// [`patch_u16`]: WireWriter::patch_u16
+    pub fn reserve_u16(&mut self) -> usize {
+        let at = self.buf.len();
+        self.buf.extend_from_slice(&[0, 0]);
+        at
+    }
+
+    /// Backpatch a slot from [`reserve_u16`].
+    ///
+    /// [`reserve_u16`]: WireWriter::reserve_u16
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -63,8 +208,23 @@ impl WireWriter {
         self.buf.is_empty()
     }
 
+    /// The encoded bytes so far, without consuming the writer.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Drop the encoded content but keep the capacity for the next message.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
     pub fn finish(self) -> Vec<u8> {
         self.buf
+    }
+
+    /// Return the backing buffer to the thread-local [`pool`].
+    pub fn recycle(self) {
+        pool::give(self.buf);
     }
 }
 
@@ -177,6 +337,70 @@ mod tests {
         let buf = w.finish();
         let mut r = WireReader::new(&buf);
         assert_eq!(r.bytes(), None);
+    }
+
+    #[test]
+    fn reserve_and_patch_u16() {
+        let mut w = WireWriter::new();
+        w.u8(9);
+        let at = w.reserve_u16();
+        w.u32(0xAABBCCDD);
+        w.patch_u16(at, 513);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.u8(), Some(9));
+        assert_eq!(r.u16(), Some(513));
+        assert_eq!(r.u32(), Some(0xAABBCCDD));
+    }
+
+    #[test]
+    fn pool_round_trips_buffers() {
+        pool::reset_stats();
+        let v = pool::take(100); // class 7 -> 128B capacity
+        assert!(v.capacity() >= 100);
+        assert_eq!(pool::stats().misses, 1);
+        pool::give(v);
+        assert_eq!(pool::stats().recycled, 1);
+        let v2 = pool::take(120); // same class: must be a hit
+        assert_eq!(pool::stats().hits, 1);
+        assert!(v2.is_empty() && v2.capacity() >= 120);
+        pool::give(v2);
+    }
+
+    #[test]
+    fn pool_steady_state_allocates_nothing() {
+        pool::reset_stats();
+        // Warm one class, then cycle it: every take after the first must hit.
+        for _ in 0..64 {
+            let mut w = WireWriter::pooled(1024);
+            w.u64(42).raw(&[0u8; 500]);
+            w.recycle();
+        }
+        let s = pool::stats();
+        assert_eq!(s.misses, 1, "only the warm-up take may allocate: {s:?}");
+        assert_eq!(s.hits, 63);
+    }
+
+    #[test]
+    fn pool_tiny_and_huge_are_not_hoarded() {
+        pool::reset_stats();
+        pool::give(Vec::with_capacity(8)); // below MIN_CLASS
+        assert_eq!(pool::stats().discarded, 1);
+        let big = pool::take(4 << 20); // above MAX_CLASS: plain allocation
+        assert!(big.capacity() >= 4 << 20);
+        assert_eq!(pool::stats().misses, 1);
+    }
+
+    #[test]
+    fn reuse_keeps_capacity() {
+        let w = WireWriter::with_capacity(256);
+        let buf = w.finish();
+        let cap = buf.capacity();
+        let mut w = WireWriter::reuse(buf);
+        assert!(w.is_empty());
+        w.u32(5);
+        assert_eq!(w.as_slice(), &5u32.to_le_bytes());
+        assert!(w.finish().capacity() >= cap);
     }
 
     #[test]

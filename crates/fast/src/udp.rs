@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
 use tm_udp::UdpStack;
+use tmk::wire::pool;
 use tmk::{Chan, IncomingMsg, Substrate};
 
 /// Socket number for asynchronous requests (SIGIO).
@@ -56,29 +57,39 @@ impl UdpSubstrate {
         &self.udp
     }
 
-    fn frame(data: &[u8]) -> Vec<u8> {
-        let mut v = Vec::with_capacity(data.len() + 1);
-        v.push(FRAME_DATA);
-        v.extend_from_slice(data);
-        v
+    /// Gather `parts` into a pooled buffer and push the datagram — no
+    /// per-send frame allocation.
+    fn send_dgram(&mut self, to: usize, sock: u16, parts: &[&[u8]], at: Option<Ns>) {
+        let mut buf = pool::take(parts.iter().map(|p| p.len()).sum());
+        for p in parts {
+            buf.extend_from_slice(p);
+        }
+        match at {
+            None => self.udp.sendto(to, sock, sock, &buf),
+            Some(t) => self.udp.sendto_at(to, sock, sock, &buf, t),
+        }
+        pool::give(buf);
     }
 
-    fn fragments(&mut self, data: &[u8]) -> Vec<Vec<u8>> {
+    /// Send one message, fragmenting above the IP reassembly limit. The
+    /// fragment header is built on the stack and gathered together with a
+    /// chunk of the caller's payload.
+    fn send_msg(&mut self, to: usize, sock: u16, data: &[u8], at: Option<Ns>) {
+        if data.len() < DGRAM_LIMIT {
+            self.send_dgram(to, sock, &[&[FRAME_DATA], data], at);
+            return;
+        }
         let total = data.len().div_ceil(DGRAM_LIMIT);
         let xid = self.next_xid;
         self.next_xid += 1;
-        data.chunks(DGRAM_LIMIT)
-            .enumerate()
-            .map(|(i, c)| {
-                let mut v = Vec::with_capacity(c.len() + 10);
-                v.push(FRAME_FRAG);
-                v.extend_from_slice(&xid.to_le_bytes());
-                v.extend_from_slice(&(i as u16).to_le_bytes());
-                v.extend_from_slice(&(total as u16).to_le_bytes());
-                v.extend_from_slice(c);
-                v
-            })
-            .collect()
+        for (i, c) in data.chunks(DGRAM_LIMIT).enumerate() {
+            let mut head = [0u8; 9];
+            head[0] = FRAME_FRAG;
+            head[1..5].copy_from_slice(&xid.to_le_bytes());
+            head[5..7].copy_from_slice(&(i as u16).to_le_bytes());
+            head[7..9].copy_from_slice(&(total as u16).to_le_bytes());
+            self.send_dgram(to, sock, &[&head, c], at.map(|t| t + Ns(i as u64)));
+        }
     }
 
     /// Handle one datagram; `Some` when a full message is available.
@@ -89,18 +100,23 @@ impl UdpSubstrate {
             Chan::Response
         };
         match d.data[0] {
-            FRAME_DATA => Some(IncomingMsg {
-                from: d.src,
-                chan,
-                data: d.data[1..].to_vec(),
-                arrival: d.ready,
-            }),
+            FRAME_DATA => {
+                let mut payload = pool::take(d.data.len() - 1);
+                payload.extend_from_slice(&d.data[1..]);
+                Some(IncomingMsg {
+                    from: d.src,
+                    chan,
+                    data: payload,
+                    arrival: d.ready,
+                })
+            }
             FRAME_FRAG => {
                 let body = &d.data[1..];
                 let xid = u32::from_le_bytes(body[0..4].try_into().unwrap());
                 let idx = u16::from_le_bytes(body[4..6].try_into().unwrap());
                 let total = u16::from_le_bytes(body[6..8].try_into().unwrap());
-                let payload = body[8..].to_vec();
+                let mut payload = pool::take(body.len() - 8);
+                payload.extend_from_slice(&body[8..]);
                 let slot = match self
                     .partials
                     .iter()
@@ -124,14 +140,19 @@ impl UdpSubstrate {
                     if p.chunks[idx as usize].is_none() {
                         p.chunks[idx as usize] = Some(payload);
                         p.have += 1;
+                    } else {
+                        pool::give(payload);
                     }
                     p.last_ready = p.last_ready.max(d.ready);
                 }
                 if self.partials[slot].have == total {
                     let p = self.partials.remove(slot);
-                    let mut full = Vec::new();
+                    let flen: usize = p.chunks.iter().flatten().map(Vec::len).sum();
+                    let mut full = pool::take(flen);
                     for c in p.chunks {
-                        full.extend_from_slice(&c.expect("complete"));
+                        let c = c.expect("complete");
+                        full.extend_from_slice(&c);
+                        pool::give(c);
                     }
                     Some(IncomingMsg {
                         from: p.src,
@@ -172,26 +193,11 @@ impl Substrate for UdpSubstrate {
     }
 
     fn send_request(&mut self, to: usize, data: &[u8]) {
-        if data.len() + 1 > DGRAM_LIMIT {
-            for f in self.fragments(data) {
-                self.udp.sendto(to, REQ_SOCK, REQ_SOCK, &f);
-            }
-        } else {
-            let f = Self::frame(data);
-            self.udp.sendto(to, REQ_SOCK, REQ_SOCK, &f);
-        }
+        self.send_msg(to, REQ_SOCK, data, None);
     }
 
     fn send_request_at(&mut self, to: usize, data: &[u8], at: Ns) {
-        if data.len() + 1 > DGRAM_LIMIT {
-            for (i, f) in self.fragments(data).into_iter().enumerate() {
-                self.udp
-                    .sendto_at(to, REQ_SOCK, REQ_SOCK, &f, at + Ns(i as u64));
-            }
-        } else {
-            let f = Self::frame(data);
-            self.udp.sendto_at(to, REQ_SOCK, REQ_SOCK, &f, at);
-        }
+        self.send_msg(to, REQ_SOCK, data, Some(at));
     }
 
     fn response_cost(&self, len: usize) -> Ns {
@@ -199,15 +205,7 @@ impl Substrate for UdpSubstrate {
     }
 
     fn send_response_at(&mut self, to: usize, data: &[u8], at: Ns) {
-        if data.len() + 1 > DGRAM_LIMIT {
-            for (i, f) in self.fragments(data).into_iter().enumerate() {
-                self.udp
-                    .sendto_at(to, REP_SOCK, REP_SOCK, &f, at + Ns(i as u64));
-            }
-        } else {
-            let f = Self::frame(data);
-            self.udp.sendto_at(to, REP_SOCK, REP_SOCK, &f, at);
-        }
+        self.send_msg(to, REP_SOCK, data, Some(at));
     }
 
     fn poll_request(&mut self) -> Option<IncomingMsg> {

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the subset used by this workspace's benches: `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros. Measurement is a simple calibrated wall-clock loop printing
+//! mean ns/iter — no statistics, plots, or regression baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much of the measurement loop a batch setup amortizes over
+/// (accepted for API compatibility; the shim always times per-batch).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Target time for one measurement, once calibrated.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            group: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample count is accepted for compatibility; the shim's loop is
+    /// time-targeted rather than sample-count based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.group);
+        run_one(&full, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Calibration: grow the iteration count until one run takes long
+    // enough to time reliably.
+    loop {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(20) || b.iters >= (1 << 24) {
+            break;
+        }
+        let grow = (MEASURE_TARGET.as_nanos() / b.elapsed.as_nanos().max(1)).clamp(2, 1024);
+        b.iters = (b.iters * grow as u64).min(1 << 24);
+    }
+    // Measurement.
+    b.elapsed = Duration::ZERO;
+    f(&mut b);
+    let ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    println!("bench: {name:<40} {ns:>12.1} ns/iter ({} iters)", b.iters);
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+/// `criterion_group!(name, target_a, target_b, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel`'s unbounded MPSC surface is used by this
+//! workspace; std's mpsc has identical send/recv/try_recv/recv_timeout
+//! signatures, so the shim is a thin re-export.
+
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// `crossbeam::channel::unbounded`: an unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(7u32).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        assert_eq!(rx.recv(), Ok(8));
+        assert!(rx.try_recv().is_err());
+    }
+}
