@@ -8,25 +8,67 @@ use std::sync::Arc;
 
 use tm_bench::{print_header, print_row, print_row_header};
 use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
-use tm_sim::{Ns, SimParams};
+use tm_sim::stats::NodeStats;
+use tm_sim::{FaultPlan, Ns, SimParams};
 use tmk::{Substrate, Tmk, TmkConfig};
 
 const ROUNDS: u64 = 20;
 const PAGES: usize = 64;
+
+/// Fault plan under test, from the environment (`E2_FAULT_LOSS`,
+/// `E2_FAULT_SEED`). With no loss requested the plan stays disabled and
+/// stdout is byte-identical to a faultless build.
+fn fault_plan() -> FaultPlan {
+    let loss: f64 = std::env::var("E2_FAULT_LOSS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let mut plan = FaultPlan {
+        drop_probability: loss,
+        ..FaultPlan::default()
+    };
+    if let Some(seed) = std::env::var("E2_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        plan.seed = seed;
+    }
+    plan
+}
+
+fn bench_params() -> SimParams {
+    let mut p = SimParams::paper_testbed();
+    p.faults = fault_plan();
+    p
+}
+
+/// Fault counters accumulated across every workload in the run (UDP and
+/// FAST sides both), reported at the end when the plan injects anything.
+static TALLY: std::sync::Mutex<Option<NodeStats>> = std::sync::Mutex::new(None);
+
+fn tally<R>(outcomes: &[tm_sim::runner::NodeOutcome<R>]) {
+    let mut t = TALLY.lock().unwrap();
+    let acc = t.get_or_insert_with(NodeStats::default);
+    for o in outcomes {
+        acc.merge(&o.stats);
+    }
+}
 
 // The bodies are generic functions; a tiny macro instantiates them for
 // both substrates without boxing.
 macro_rules! on_both {
     ($n:expr, $f:ident) => {{
         let udp = {
-            let params = Arc::new(SimParams::paper_testbed());
+            let params = Arc::new(bench_params());
             run_udp_dsm($n, params, TmkConfig::default(), $f)
         };
         let fast = {
-            let params = Arc::new(SimParams::paper_testbed());
+            let params = Arc::new(bench_params());
             let cfg = FastConfig::paper(&params);
             run_fast_dsm($n, params, cfg, TmkConfig::default(), $f)
         };
+        tally(&udp);
+        tally(&fast);
         (udp, fast)
     }};
 }
@@ -203,4 +245,36 @@ fn main() {
     }
     println!();
     println!("paper factors: Barrier ~2.5x, Lock ~3-4x, Page ~6.2x, Diff comparable");
+
+    // Fault-injection report: only when the plan actually injects
+    // something, so the zero-fault output above stays byte-identical.
+    let plan = fault_plan();
+    if plan.enabled() {
+        let t = TALLY.lock().unwrap();
+        let s = t.as_ref().cloned().unwrap_or_default();
+        println!();
+        println!(
+            "fault plan: seed={:#x} drop={} dup={} reorder={} corrupt={}",
+            plan.seed,
+            plan.drop_probability,
+            plan.duplicate_probability,
+            plan.reorder_probability,
+            plan.corrupt_probability
+        );
+        println!(
+            "fault counters: dropped={} duplicated={} reordered={} corrupted={} \
+             retransmits={} dup_requests_suppressed={} stale_responses_dropped={} \
+             crc_rejected={} malformed_dropped={} token_stalls={}",
+            s.dgrams_dropped,
+            s.dgrams_duplicated,
+            s.dgrams_reordered,
+            s.dgrams_corrupted,
+            s.retransmits,
+            s.dup_requests_suppressed,
+            s.stale_responses_dropped,
+            s.crc_rejected,
+            s.malformed_dropped,
+            s.token_stalls
+        );
+    }
 }

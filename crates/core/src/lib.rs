@@ -43,6 +43,6 @@ pub mod tmk;
 pub mod vc;
 pub mod wire;
 
-pub use substrate::{Chan, IncomingMsg, Substrate};
+pub use substrate::{Chan, IncomingMsg, ShutdownPoll, Substrate};
 pub use tmk::{SharedId, Tmk, TmkConfig};
 pub use vc::VectorClock;

@@ -83,6 +83,7 @@ impl MemSubstrate {
             chan: m.chan,
             data: m.data,
             arrival: m.arrival,
+            lost: false,
         };
         match msg.chan {
             Chan::Request => self.requests.push_back(msg),
@@ -137,7 +138,7 @@ impl Substrate for MemSubstrate {
         AsyncScheme::Interrupt { cost: Ns::ZERO }
     }
 
-    fn send_request(&mut self, to: usize, data: &[u8]) {
+    fn send_request(&mut self, to: usize, data: &[u8]) -> bool {
         self.clock.borrow_mut().advance(self.send_cost);
         let now = self.clock.borrow().now();
         {
@@ -153,6 +154,7 @@ impl Substrate for MemSubstrate {
                 arrival: now + self.latency,
             })
             .expect("peer gone");
+        true
     }
 
     fn send_request_at(&mut self, to: usize, data: &[u8], at: Ns) {

@@ -25,6 +25,19 @@ pub enum Chan {
     Response,
 }
 
+/// One step of a lossy transport's shutdown linger (see
+/// [`Substrate::shutdown_poll`]).
+#[derive(Debug)]
+pub enum ShutdownPoll {
+    /// Every peer has shut down — safe to exit.
+    Done,
+    /// Peers remain but nothing arrived this quantum; poll again.
+    Quiet,
+    /// A (possibly duplicate) message arrived; the runtime should serve
+    /// requests so retransmitting peers can finish.
+    Msg(IncomingMsg),
+}
+
 /// A message delivered by the substrate.
 #[derive(Debug)]
 pub struct IncomingMsg {
@@ -33,6 +46,11 @@ pub struct IncomingMsg {
     pub data: Vec<u8>,
     /// Virtual arrival time at this node.
     pub arrival: Ns,
+    /// Fault-injection tombstone: the message was lost in flight (dropped
+    /// or checksum-rejected). `data` must not be interpreted; the message
+    /// exists only so the receiver observes the loss at a deterministic
+    /// virtual time. Never set on a zero-fault run.
+    pub lost: bool,
 }
 
 /// A request/response transport for one node. Implementations own the
@@ -48,7 +66,11 @@ pub trait Substrate {
     fn scheme(&self) -> AsyncScheme;
 
     /// Send an asynchronous request; charges the clock for the send path.
-    fn send_request(&mut self, to: usize, data: &[u8]);
+    /// Returns `false` if the transport knows the request was lost on the
+    /// way out (UDP drop injection) — the requester can then time out in
+    /// virtual time without waiting for a response that will never come.
+    /// Reliable transports always return `true`.
+    fn send_request(&mut self, to: usize, data: &[u8]) -> bool;
 
     /// Send a request from *inside a request handler* whose service window
     /// completed at virtual time `at` (lock-manager forwarding). Like
@@ -74,6 +96,32 @@ pub trait Substrate {
     /// Block until any request or response arrives. Advances the clock to
     /// the message's arrival when the node was idle-waiting.
     fn next_incoming(&mut self) -> IncomingMsg;
+
+    /// Like [`next_incoming`](Substrate::next_incoming) but bounded by a
+    /// *virtual-time* deadline; `None` means the deadline passed first
+    /// (and the clock has advanced to it). The runtime's retransmission
+    /// timer runs on this. Transports without a loss model never time
+    /// out, so the default simply blocks.
+    fn next_incoming_until(&mut self, _deadline: Ns) -> Option<IncomingMsg> {
+        Some(self.next_incoming())
+    }
+
+    /// Initial retransmission timeout, if this transport needs DSM-level
+    /// reliability under the current fault plan. `None` (the default, and
+    /// the answer for every reliable transport and for lossless runs)
+    /// selects the legacy send-once path.
+    fn retransmit_timeout(&self) -> Option<Ns> {
+        None
+    }
+
+    /// Shutdown linger on lossy transports: the barrier manager cannot
+    /// exit while a peer might still be retransmitting a request whose
+    /// response was lost, so it polls here — serving duplicates from the
+    /// replay cache — until every peer's NIC has left the fabric. The
+    /// default (reliable transports) reports `Done` immediately.
+    fn shutdown_poll(&mut self) -> ShutdownPoll {
+        ShutdownPoll::Done
+    }
 
     /// Largest message the substrate can carry in one piece. The runtime
     /// chunks diff responses to fit.

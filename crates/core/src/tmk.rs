@@ -55,8 +55,13 @@ struct LockState {
     owner_hint: u16,
     have_token: bool,
     busy: bool,
-    /// Requests waiting for our release: (requester, rid, their vc).
-    waiting: VecDeque<(u16, u32, VectorClock)>,
+    /// Requests waiting for our release: (requester, rid, their vc,
+    /// arrival key). The arrival key is the `(from, rid)` the request
+    /// last reached us under — identical to `(requester, rid)` for a
+    /// direct acquire, but the forwarding manager's `(manager, fwd_rid)`
+    /// for a forwarded one. Replay-cache upgrades go through it so a
+    /// retransmitted forward finds the grant we eventually sent.
+    waiting: VecDeque<(u16, u32, VectorClock, (usize, u32))>,
 }
 
 struct BarrierEpisode {
@@ -85,6 +90,34 @@ impl BarrierEpisode {
     }
 }
 
+/// What to do when a duplicate of an already-seen request arrives
+/// (lossy transports retransmit; handlers must stay idempotent).
+#[derive(Debug, Clone)]
+enum ReplayAction {
+    /// The original is still queued (lock wait, barrier wait): swallow
+    /// duplicates; the eventual grant/release goes out through the
+    /// normal path (which upgrades this entry to `Respond`).
+    Pending,
+    /// We already responded with these bytes: re-send them (the original
+    /// response may have been the loss that triggered the retransmit).
+    Respond { to: usize, bytes: Vec<u8> },
+    /// We forwarded the request (lock manager → owner): re-forward the
+    /// identical bytes — same forwarded rid, so dedup chains compose.
+    Forward { to: usize, bytes: Vec<u8> },
+}
+
+/// Bounded responder-side replay cache entry, keyed on `(from, rid)`.
+#[derive(Debug)]
+struct ReplayEntry {
+    from: usize,
+    rid: u32,
+    action: ReplayAction,
+}
+
+/// Replay-cache depth. With one outstanding request per peer plus
+/// forwards, live duplicates are always much younger than this.
+const REPLAY_CACHE_CAP: usize = 128;
+
 /// The per-node DSM runtime.
 pub struct Tmk<S: Substrate> {
     sub: S,
@@ -107,6 +140,13 @@ pub struct Tmk<S: Substrate> {
     next_rid: u32,
     cfg: TmkConfig,
     page_size: usize,
+    /// Responder-side duplicate suppression (lossy transports only; stays
+    /// empty — and cost-free — on reliable ones).
+    replay: VecDeque<ReplayEntry>,
+    /// Key of the request currently being dispatched, for filing its
+    /// replay-cache entry at the response site. `None` on reliable
+    /// transports.
+    serving: Option<(usize, u32)>,
 }
 
 macro_rules! trace {
@@ -138,6 +178,8 @@ impl<S: Substrate> Tmk<S> {
             next_rid: 1,
             cfg,
             page_size,
+            replay: VecDeque::new(),
+            serving: None,
         }
     }
 
@@ -322,8 +364,26 @@ impl<S: Substrate> Tmk<S> {
     /// Service one incoming request. `arrival` drives the interrupt
     /// preemption model.
     fn serve(&mut self, from: usize, data: &[u8], arrival: Ns) {
-        let (rid, req) = Request::decode(data).expect("malformed request");
+        let Some((rid, req)) = Request::decode(data) else {
+            // Undecodable frame (possible on lossy wires): discard, count.
+            self.clock().borrow_mut().stats.malformed_dropped += 1;
+            return;
+        };
         trace!(self, "serve from={from} rid={rid} req={req:?}");
+        if self.sub.retransmit_timeout().is_some() {
+            if let Some(i) = self
+                .replay
+                .iter()
+                .position(|e| e.from == from && e.rid == rid)
+            {
+                // A retransmission of a request we already handled (or
+                // still hold queued): replay the recorded action instead
+                // of re-running the (state-mutating) handler.
+                self.replay_duplicate(i, arrival);
+                return;
+            }
+            self.serving = Some((from, rid));
+        }
         let params = self.sub.params().clone();
         let mut cost = params.dsm.handler_dispatch;
         match req {
@@ -360,9 +420,10 @@ impl<S: Substrate> Tmk<S> {
                     } else {
                         // We hold it busy (or the token is en route to us):
                         // grant at release.
-                        ls.waiting.push_back((from as u16, rid, vc));
+                        ls.waiting.push_back((from as u16, rid, vc, (from, rid)));
                         ls.owner_hint = from as u16;
                         self.charge_service(arrival, cost);
+                        self.note_pending();
                     }
                 } else {
                     // Forward to the current owner; requester stays blocked.
@@ -380,6 +441,10 @@ impl<S: Substrate> Tmk<S> {
                     cost += self.sub.response_cost(w.len());
                     let finish = self.charge_service(arrival, cost);
                     self.sub.send_request_at(owner, w.as_slice(), finish);
+                    if let Some((f, r)) = self.serving.take() {
+                        let bytes = w.as_slice().to_vec();
+                        self.remember(f, r, ReplayAction::Forward { to: owner, bytes });
+                    }
                     w.recycle();
                 }
             }
@@ -397,8 +462,9 @@ impl<S: Substrate> Tmk<S> {
                     self.locks[lock as usize].have_token = false;
                     self.respond(requester as usize, orig_rid, resp, arrival, cost);
                 } else {
-                    ls.waiting.push_back((requester, orig_rid, vc));
+                    ls.waiting.push_back((requester, orig_rid, vc, (from, rid)));
                     self.charge_service(arrival, cost);
+                    self.note_pending();
                 }
             }
             Request::BarrierArrive {
@@ -435,6 +501,64 @@ impl<S: Substrate> Tmk<S> {
                 }
                 self.barrier.clients[from] = Some((rid, vc));
                 self.charge_service(arrival, cost);
+                self.note_pending();
+            }
+        }
+        // Handlers that responded already cleared this via the remember
+        // hooks; anything left would mis-attribute a later response.
+        self.serving = None;
+    }
+
+    // ----- duplicate-request suppression ------------------------------------
+
+    /// If the request being served hasn't recorded an action yet, park it
+    /// in the replay cache as pending (response comes later — queued lock
+    /// grant, barrier release). A retransmission arriving meanwhile is
+    /// then recognized and suppressed instead of re-queued.
+    fn note_pending(&mut self) {
+        if let Some((f, r)) = self.serving.take() {
+            self.remember(f, r, ReplayAction::Pending);
+        }
+    }
+
+    /// Record (or upgrade) the action taken for request `(from, rid)` in
+    /// the bounded replay cache.
+    fn remember(&mut self, from: usize, rid: u32, action: ReplayAction) {
+        if let Some(e) = self
+            .replay
+            .iter_mut()
+            .find(|e| e.from == from && e.rid == rid)
+        {
+            e.action = action;
+            return;
+        }
+        if self.replay.len() >= REPLAY_CACHE_CAP {
+            self.replay.pop_front();
+        }
+        self.replay.push_back(ReplayEntry { from, rid, action });
+    }
+
+    /// A retransmitted request matched replay entry `idx`: re-emit the
+    /// recorded effect without re-running the handler. Pending entries
+    /// (response still owed) are swallowed — the eventual grant/release
+    /// answers the original rid.
+    fn replay_duplicate(&mut self, idx: usize, arrival: Ns) {
+        self.clock().borrow_mut().stats.dup_requests_suppressed += 1;
+        let cost = self.sub.params().dsm.handler_dispatch;
+        let action = self.replay[idx].action.clone();
+        match action {
+            ReplayAction::Pending => {
+                self.charge_service(arrival, cost);
+            }
+            ReplayAction::Respond { to, bytes } => {
+                let total = cost + self.sub.response_cost(bytes.len());
+                let finish = self.charge_service(arrival, total);
+                self.sub.send_response_at(to, &bytes, finish);
+            }
+            ReplayAction::Forward { to, bytes } => {
+                let total = cost + self.sub.response_cost(bytes.len());
+                let finish = self.charge_service(arrival, total);
+                self.sub.send_request_at(to, &bytes, finish);
             }
         }
     }
@@ -461,6 +585,10 @@ impl<S: Substrate> Tmk<S> {
         cost += self.sub.response_cost(w.len());
         let finish = self.charge_service(arrival, cost);
         self.sub.send_response_at(to, w.as_slice(), finish);
+        if let Some((from, rid)) = self.serving.take() {
+            let bytes = w.as_slice().to_vec();
+            self.remember(from, rid, ReplayAction::Respond { to, bytes });
+        }
         w.recycle();
     }
 
@@ -565,28 +693,114 @@ impl<S: Substrate> Tmk<S> {
         trace!(self, "rpc to={to} rid={rid} req={req:?}");
         let mut w = WireWriter::pooled(64);
         req.encode_into(rid, &mut w);
-        self.sub.send_request(to, w.as_slice());
-        w.recycle();
+        self.rpc_encoded(to, rid, w)
+    }
+
+    /// The rpc body proper, for callers that pre-chose the rid (acquire's
+    /// manager-forwarding path). Consumes and recycles the frame.
+    ///
+    /// Reliable transports (`retransmit_timeout() == None`) use the plain
+    /// send-once loop. Lossy ones get DSM-level reliability: a virtual-time
+    /// retransmission timer with exponential backoff, resending under the
+    /// *same* rid (the responder's replay cache makes duplicates
+    /// idempotent), plus stale-response and tombstone handling.
+    fn rpc_encoded(&mut self, to: usize, rid: u32, w: WireWriter) -> Response {
+        let Some(rto0) = self.sub.retransmit_timeout() else {
+            self.sub.send_request(to, w.as_slice());
+            w.recycle();
+            self.clock().borrow_mut().begin_wait();
+            loop {
+                let msg = self.sub.next_incoming();
+                match msg.chan {
+                    Chan::Response => {
+                        let (got_rid, resp) =
+                            Response::decode(&msg.data).expect("malformed response");
+                        assert_eq!(
+                            got_rid, rid,
+                            "node {}: response correlation mismatch",
+                            self.me
+                        );
+                        pool::give(msg.data);
+                        return resp;
+                    }
+                    Chan::Request => {
+                        self.serve(msg.from, &msg.data, msg.arrival);
+                        pool::give(msg.data);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                }
+            }
+        };
+        let cap = self.sub.params().udp.rto_retries;
+        let mut rto = rto0;
+        let mut attempts = 0u32;
+        // `sent == false`: the transport knows the datagram was dropped on
+        // the way out — skip the futile wait and retransmit at the deadline.
+        let mut sent = self.sub.send_request(to, w.as_slice());
         self.clock().borrow_mut().begin_wait();
+        let mut deadline = self.clock().borrow().now() + rto;
+        macro_rules! retransmit {
+            () => {{
+                attempts += 1;
+                assert!(
+                    attempts <= cap,
+                    "node {}: rid {rid} to {to}: gave up after {cap} retransmissions",
+                    self.me
+                );
+                self.clock().borrow_mut().stats.retransmits += 1;
+                rto = rto * 2;
+                sent = self.sub.send_request(to, w.as_slice());
+                self.clock().borrow_mut().begin_wait();
+                deadline = self.clock().borrow().now() + rto;
+            }};
+        }
         loop {
-            let msg = self.sub.next_incoming();
-            match msg.chan {
-                Chan::Response => {
-                    let (got_rid, resp) =
-                        Response::decode(&msg.data).expect("malformed response");
-                    assert_eq!(
-                        got_rid, rid,
-                        "node {}: response correlation mismatch",
-                        self.me
-                    );
-                    pool::give(msg.data);
-                    return resp;
+            if !sent {
+                self.clock().borrow_mut().wait_until(deadline);
+                retransmit!();
+                continue;
+            }
+            match self.sub.next_incoming_until(deadline) {
+                None => retransmit!(),
+                Some(msg) if msg.lost => {
+                    if msg.chan == Chan::Response {
+                        // Our (likely) response died in flight: no point
+                        // sitting out the rest of the timer.
+                        retransmit!();
+                    } else {
+                        self.clock().borrow_mut().begin_wait();
+                    }
                 }
-                Chan::Request => {
-                    self.serve(msg.from, &msg.data, msg.arrival);
-                    pool::give(msg.data);
-                    self.clock().borrow_mut().begin_wait();
-                }
+                Some(msg) => match msg.chan {
+                    Chan::Response => {
+                        let Some((got_rid, resp)) = Response::decode(&msg.data) else {
+                            self.clock().borrow_mut().stats.malformed_dropped += 1;
+                            pool::give(msg.data);
+                            self.clock().borrow_mut().begin_wait();
+                            continue;
+                        };
+                        if got_rid == rid {
+                            pool::give(msg.data);
+                            w.recycle();
+                            return resp;
+                        }
+                        assert!(
+                            got_rid < rid,
+                            "node {}: response from the future (rid {got_rid} > {rid})",
+                            self.me
+                        );
+                        // Duplicate answer to an rpc we already completed
+                        // (a retransmission crossed its response).
+                        self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+                        pool::give(msg.data);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                    Chan::Request => {
+                        self.serve(msg.from, &msg.data, msg.arrival);
+                        pool::give(msg.data);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                },
             }
         }
     }
@@ -968,30 +1182,10 @@ impl<S: Substrate> Tmk<S> {
                 rid,
                 vc: self.vc.clone(),
             };
-            // Manually run the rpc with the chosen rid so the grant
-            // correlates.
+            // Run the rpc with the chosen rid so the grant correlates.
             let mut w = WireWriter::pooled(64);
             req.encode_into(rid, &mut w);
-            self.sub.send_request(owner, w.as_slice());
-            w.recycle();
-            self.clock().borrow_mut().begin_wait();
-            loop {
-                let msg = self.sub.next_incoming();
-                match msg.chan {
-                    Chan::Response => {
-                        let (got, resp) =
-                            Response::decode(&msg.data).expect("malformed response");
-                        assert_eq!(got, rid);
-                        pool::give(msg.data);
-                        break resp;
-                    }
-                    Chan::Request => {
-                        self.serve(msg.from, &msg.data, msg.arrival);
-                        pool::give(msg.data);
-                        self.clock().borrow_mut().begin_wait();
-                    }
-                }
-            }
+            self.rpc_encoded(owner, rid, w)
         } else {
             self.rpc(
                 mgr,
@@ -1035,7 +1229,7 @@ impl<S: Substrate> Tmk<S> {
         if !ls.have_token || ls.busy {
             return;
         }
-        let Some((requester, rid, rvc)) = ls.waiting.pop_front() else {
+        let Some((requester, rid, rvc, via)) = ls.waiting.pop_front() else {
             return;
         };
         let (resp, cost) = self.make_grant(lock, &rvc);
@@ -1046,6 +1240,17 @@ impl<S: Substrate> Tmk<S> {
         self.clock().borrow_mut().advance(total);
         let now = self.clock().borrow().now();
         self.sub.send_response_at(requester as usize, w.as_slice(), now);
+        if self.sub.retransmit_timeout().is_some() {
+            let bytes = w.as_slice().to_vec();
+            self.remember(
+                via.0,
+                via.1,
+                ReplayAction::Respond {
+                    to: requester as usize,
+                    bytes,
+                },
+            );
+        }
         w.recycle();
     }
 
@@ -1093,9 +1298,23 @@ impl<S: Substrate> Tmk<S> {
         self.clock().borrow_mut().begin_wait();
         while self.barrier.count < self.n {
             let msg = self.sub.next_incoming();
+            if msg.lost {
+                // A peer's arrival (or a stray duplicate) died in flight;
+                // the sender's retransmission timer will re-deliver it.
+                pool::give(msg.data);
+                self.clock().borrow_mut().begin_wait();
+                continue;
+            }
             match msg.chan {
                 Chan::Request => {
                     self.serve(msg.from, &msg.data, msg.arrival);
+                    pool::give(msg.data);
+                    self.clock().borrow_mut().begin_wait();
+                }
+                Chan::Response if self.sub.retransmit_timeout().is_some() => {
+                    // A duplicate answer to an rpc we completed before the
+                    // barrier (a retransmission crossed its response).
+                    self.clock().borrow_mut().stats.stale_responses_dropped += 1;
                     pool::give(msg.data);
                     self.clock().borrow_mut().begin_wait();
                 }
@@ -1127,6 +1346,12 @@ impl<S: Substrate> Tmk<S> {
             self.clock().borrow_mut().advance(cost);
             let now = self.clock().borrow().now();
             self.sub.send_response_at(node, w.as_slice(), now);
+            if self.sub.retransmit_timeout().is_some() {
+                // A lost release leaves the client retransmitting its
+                // BarrierArrive; answer the duplicate from the cache.
+                let bytes = w.as_slice().to_vec();
+                self.remember(node, rid, ReplayAction::Respond { to: node, bytes });
+            }
             w.recycle();
         }
         self.epoch_gc(merged);
@@ -1140,8 +1365,29 @@ impl<S: Substrate> Tmk<S> {
 
     /// Final synchronization before the node thread returns: a barrier, so
     /// no peer is left blocked on us.
+    ///
+    /// On a lossy transport the barrier manager additionally lingers: a
+    /// client whose exit release was lost keeps retransmitting its
+    /// `BarrierArrive`, and only the manager's replay cache can answer it.
+    /// The linger ends when every peer's NIC has left the fabric.
     pub fn exit(&mut self) {
         self.barrier(u32::MAX);
+        if self.sub.retransmit_timeout().is_some() && self.me == self.cfg.barrier_manager {
+            loop {
+                match self.sub.shutdown_poll() {
+                    crate::substrate::ShutdownPoll::Done => break,
+                    crate::substrate::ShutdownPoll::Quiet => {}
+                    crate::substrate::ShutdownPoll::Msg(msg) => {
+                        if !msg.lost && msg.chan == Chan::Request {
+                            self.serve(msg.from, &msg.data, msg.arrival);
+                        } else if !msg.lost && msg.chan == Chan::Response {
+                            self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+                        }
+                        pool::give(msg.data);
+                    }
+                }
+            }
+        }
     }
 
     // ----- data access --------------------------------------------------------

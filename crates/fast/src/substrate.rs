@@ -2,7 +2,10 @@
 
 use std::sync::Arc;
 
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use tm_gm::{gm_size, DmaPool, GmEvent, GmNode, MAX_SIZE_CLASS};
+use tm_sim::faults::checksum32;
 use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
 use tmk::wire::pool;
 use tmk::{Chan, IncomingMsg, Substrate};
@@ -24,6 +27,13 @@ const FRAME_RDV_PULL: u8 = 2;
 const FRAME_RDV_COMPLETE: u8 = 3;
 /// A fragment of a larger frame: [4][xid u32][idx u16][total u16][bytes].
 const FRAME_FRAG: u8 = 4;
+
+/// Fault-stream salt for the FAST substrate's corruption injector (keeps
+/// its draws decorrelated from the UDP stack's on the same node).
+const FAULT_SALT_FAST: u64 = 0xfa57;
+/// Give up after this many token-starvation polls for a single frame —
+/// past it the run is wedged, not congested.
+const TOKEN_STALL_CAP: u32 = 4096;
 
 /// Substrate configuration.
 #[derive(Debug, Clone)]
@@ -93,6 +103,9 @@ pub struct FastSubstrate {
     partials: Vec<Partial>,
     /// Registered bytes devoted to preposted receive buffers (E5).
     pub prepost_bytes: usize,
+    /// Seeded corruption injector; `Some` only when the fault plan asks
+    /// for payload corruption (so zero-fault runs draw nothing).
+    corrupt_rng: Option<SmallRng>,
 }
 
 impl FastSubstrate {
@@ -141,6 +154,12 @@ impl FastSubstrate {
         gm.book
             .register(prepost_bytes)
             .expect("register prepost slabs");
+        let corrupt_rng = if gm.params().faults.corrupt_probability > 0.0 {
+            let seed = gm.params().faults.stream_seed(gm.node(), FAULT_SALT_FAST);
+            Some(SmallRng::seed_from_u64(seed))
+        } else {
+            None
+        };
         FastSubstrate {
             gm,
             pool,
@@ -150,6 +169,7 @@ impl FastSubstrate {
             pulls: Vec::new(),
             partials: Vec::new(),
             prepost_bytes,
+            corrupt_rng,
         }
     }
 
@@ -185,14 +205,43 @@ impl FastSubstrate {
     /// pays DEMUX + the fast-path copy cost (the immediate-send path);
     /// scheduled sends pass their pre-accounted departure time instead.
     fn push_frame(&mut self, to: usize, port: u8, parts: &[&[u8]], charge: bool, at: Option<Ns>) {
-        let len: usize = parts.iter().map(|p| p.len()).sum();
+        let mut len: usize = parts.iter().map(|p| p.len()).sum();
         if charge {
             self.gm.clock().borrow_mut().advance(DEMUX);
             let cost = Ns::for_bytes(len, self.gm.params().host.fast_copy_mb_s);
             self.gm.clock().borrow_mut().advance(cost);
         }
-        let buf = self.pool.take_parts(parts).expect("send pool exhausted");
+        // Fault path: append a checksum trailer so injected corruption is
+        // detected at the receiver instead of mis-decoded; then maybe flip
+        // a byte. Gated on the plan so clean runs gather zero-copy.
+        let buf = if self.gm.params().faults.checksum_frames() {
+            let mut img = Vec::with_capacity(len + 4);
+            for p in parts {
+                img.extend_from_slice(p);
+            }
+            let crc = checksum32(&img).to_le_bytes();
+            img.extend_from_slice(&crc);
+            if let Some(rng) = self.corrupt_rng.as_mut() {
+                let p = self.gm.params().faults.corrupt_probability;
+                if rng.random::<f64>() < p {
+                    let i = (rng.random::<u64>() as usize) % img.len();
+                    img[i] ^= 0x20;
+                    self.gm.clock().borrow_mut().stats.dgrams_corrupted += 1;
+                }
+            }
+            len = img.len();
+            self.pool.take_parts(&[&img]).expect("send pool exhausted")
+        } else {
+            self.pool.take_parts(parts).expect("send pool exhausted")
+        };
         let mut at = at;
+        // Token starvation (injected or burst backpressure): poll for
+        // completion callbacks at the GM callback stride, bounded so a
+        // wedged port fails loudly instead of spinning forever. The
+        // stride matches the pre-fault constant so clean-run timing is
+        // unchanged.
+        let stall = Ns::from_us(3);
+        let mut stalls = 0u32;
         loop {
             let res = match at {
                 None => self.gm.send(port, to, port, &buf, len),
@@ -201,10 +250,16 @@ impl FastSubstrate {
             match res {
                 Ok(_) => break,
                 Err(tm_gm::GmError::NoSendTokens) => {
-                    // Burst backpressure: wait for completion callbacks.
+                    stalls += 1;
+                    assert!(
+                        stalls <= TOKEN_STALL_CAP,
+                        "node {}: no send tokens after {TOKEN_STALL_CAP} polls",
+                        self.gm.node()
+                    );
+                    self.gm.clock().borrow_mut().stats.token_stalls += 1;
                     match at.as_mut() {
-                        None => self.gm.clock().borrow_mut().advance(Ns::from_us(3)),
-                        Some(t) => *t += Ns::from_us(3),
+                        None => self.gm.clock().borrow_mut().advance(stall),
+                        Some(t) => *t += stall,
                     }
                 }
                 Err(e) => panic!("GM send failed: {e:?}"),
@@ -256,6 +311,13 @@ impl FastSubstrate {
         self.cfg.rendezvous && gm_size(len + 1) >= self.cfg.rdv_min_size
     }
 
+    /// Count and drop a frame that can't be interpreted (truncated header
+    /// or unknown kind — possible once fault injection flips bytes).
+    fn malformed(&mut self) -> Option<IncomingMsg> {
+        self.gm.clock().borrow_mut().stats.malformed_dropped += 1;
+        None
+    }
+
     /// Handle one GM receive event; `Some` if it surfaces to the DSM
     /// runtime, `None` if it was substrate-internal (rendezvous control).
     fn handle_event(&mut self, port: u8, ev: GmEvent) -> Option<IncomingMsg> {
@@ -280,6 +342,24 @@ impl FastSubstrate {
         } else {
             Chan::Response
         };
+        // Under a corruption plan every frame carries a checksum trailer:
+        // verify and strip it, counting (not mis-decoding) flipped frames.
+        let mut data = data;
+        if self.gm.params().faults.checksum_frames() {
+            if data.len() < 5 {
+                return self.malformed();
+            }
+            let body_len = data.len() - 4;
+            let want = u32::from_le_bytes(data[body_len..].try_into().expect("4-byte trailer"));
+            if checksum32(&data[..body_len]) != want {
+                self.gm.clock().borrow_mut().stats.crc_rejected += 1;
+                return None;
+            }
+            data = bytes::Bytes::copy_from_slice(&data[..body_len]);
+        }
+        if data.is_empty() {
+            return self.malformed();
+        }
         let kind = data[0];
         let body = &data[1..];
         match kind {
@@ -291,13 +371,17 @@ impl FastSubstrate {
                     chan,
                     data: payload,
                     arrival,
+                    lost: false,
                 })
             }
             FRAME_RDV_ANNOUNCE => {
                 // Large response announced: pin a landing region and ask
                 // the responder to RDMA it over.
-                let xfer = u32::from_le_bytes(body[0..4].try_into().unwrap());
-                let len = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
+                if body.len() < 8 {
+                    return self.malformed();
+                }
+                let xfer = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
+                let len = u32::from_le_bytes(body[4..8].try_into().expect("checked len")) as usize;
                 let region = self.gm.book.register(len).expect("pin rendezvous region");
                 self.pulls.push(PullInProgress {
                     xfer,
@@ -314,8 +398,11 @@ impl FastSubstrate {
             FRAME_RDV_PULL => {
                 // The requester pinned its region: RDMA the held payload
                 // and complete. This is substrate-internal service work.
-                let xfer = u32::from_le_bytes(body[0..4].try_into().unwrap());
-                let region = u32::from_le_bytes(body[4..8].try_into().unwrap());
+                if body.len() < 8 {
+                    return self.malformed();
+                }
+                let xfer = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
+                let region = u32::from_le_bytes(body[4..8].try_into().expect("checked len"));
                 let idx = self
                     .held
                     .iter()
@@ -346,7 +433,10 @@ impl FastSubstrate {
             FRAME_RDV_COMPLETE => {
                 // Payload has landed in our pinned region: surface it as
                 // the response it is.
-                let xfer = u32::from_le_bytes(body[0..4].try_into().unwrap());
+                if body.len() < 4 {
+                    return self.malformed();
+                }
+                let xfer = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
                 let idx = self
                     .pulls
                     .iter()
@@ -364,12 +454,19 @@ impl FastSubstrate {
                     chan: Chan::Response,
                     data,
                     arrival,
+                    lost: false,
                 })
             }
             FRAME_FRAG => {
-                let xid = u32::from_le_bytes(body[0..4].try_into().unwrap());
-                let idx = u16::from_le_bytes(body[4..6].try_into().unwrap());
-                let total = u16::from_le_bytes(body[6..8].try_into().unwrap());
+                if body.len() < 8 {
+                    return self.malformed();
+                }
+                let xid = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
+                let idx = u16::from_le_bytes(body[4..6].try_into().expect("checked len"));
+                let total = u16::from_le_bytes(body[6..8].try_into().expect("checked len"));
+                if total == 0 || idx >= total {
+                    return self.malformed();
+                }
                 let mut payload = pool::take(body.len() - 8);
                 payload.extend_from_slice(&body[8..]);
                 let slot = match self
@@ -393,6 +490,10 @@ impl FastSubstrate {
                 {
                     let p = &mut self.partials[slot];
                     debug_assert_eq!(p.port, port, "fragments crossed ports");
+                    if p.chunks.len() != total as usize {
+                        pool::give(payload);
+                        return self.malformed();
+                    }
                     if p.chunks[idx as usize].is_none() {
                         p.chunks[idx as usize] = Some(payload);
                         p.have += 1;
@@ -430,11 +531,12 @@ impl FastSubstrate {
                         chan,
                         data: full,
                         arrival: p.last_arrival,
+                        lost: false,
                     });
                 }
                 None
             }
-            other => panic!("unknown frame kind {other}"),
+            _ => self.malformed(),
         }
     }
 }
@@ -460,8 +562,9 @@ impl Substrate for FastSubstrate {
         self.cfg.scheme
     }
 
-    fn send_request(&mut self, to: usize, data: &[u8]) {
+    fn send_request(&mut self, to: usize, data: &[u8]) -> bool {
         self.send_kind(to, REQ_PORT, FRAME_DATA, data, None);
+        true // GM delivery is reliable
     }
 
     fn send_request_at(&mut self, to: usize, data: &[u8], at: Ns) {

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
 use tm_udp::UdpStack;
 use tmk::wire::pool;
-use tmk::{Chan, IncomingMsg, Substrate};
+use tmk::{Chan, IncomingMsg, ShutdownPoll, Substrate};
 
 /// Socket number for asynchronous requests (SIGIO).
 pub const REQ_SOCK: u16 = 1;
@@ -24,6 +24,14 @@ const DGRAM_LIMIT: usize = 60 * 1024;
 
 const FRAME_DATA: u8 = 0;
 const FRAME_FRAG: u8 = 1;
+
+/// Wall-clock backstop for virtual-deadline waits: if no peer thread makes
+/// progress for this long, something real (not simulated) is wrong.
+const HANG_GUARD: std::time::Duration = std::time::Duration::from_secs(1);
+
+/// Shorter wall guard for the shutdown linger, where "nothing arrives"
+/// is the expected steady state (peers exit without a goodbye).
+const LINGER_GUARD: std::time::Duration = std::time::Duration::from_millis(25);
 
 struct Partial {
     src: usize,
@@ -58,47 +66,74 @@ impl UdpSubstrate {
     }
 
     /// Gather `parts` into a pooled buffer and push the datagram — no
-    /// per-send frame allocation.
-    fn send_dgram(&mut self, to: usize, sock: u16, parts: &[&[u8]], at: Option<Ns>) {
+    /// per-send frame allocation. Returns `false` if the stack knows the
+    /// datagram was dropped by fault injection.
+    fn send_dgram(&mut self, to: usize, sock: u16, parts: &[&[u8]], at: Option<Ns>) -> bool {
         let mut buf = pool::take(parts.iter().map(|p| p.len()).sum());
         for p in parts {
             buf.extend_from_slice(p);
         }
-        match at {
+        let delivered = match at {
             None => self.udp.sendto(to, sock, sock, &buf),
             Some(t) => self.udp.sendto_at(to, sock, sock, &buf, t),
-        }
+        };
         pool::give(buf);
+        delivered
     }
 
     /// Send one message, fragmenting above the IP reassembly limit. The
     /// fragment header is built on the stack and gathered together with a
-    /// chunk of the caller's payload.
-    fn send_msg(&mut self, to: usize, sock: u16, data: &[u8], at: Option<Ns>) {
+    /// chunk of the caller's payload. Returns `false` if any fragment was
+    /// known-dropped on the way out (the whole message is then doomed —
+    /// reassembly can never complete).
+    fn send_msg(&mut self, to: usize, sock: u16, data: &[u8], at: Option<Ns>) -> bool {
         if data.len() < DGRAM_LIMIT {
-            self.send_dgram(to, sock, &[&[FRAME_DATA], data], at);
-            return;
+            return self.send_dgram(to, sock, &[&[FRAME_DATA], data], at);
         }
         let total = data.len().div_ceil(DGRAM_LIMIT);
         let xid = self.next_xid;
         self.next_xid += 1;
+        let mut all = true;
         for (i, c) in data.chunks(DGRAM_LIMIT).enumerate() {
             let mut head = [0u8; 9];
             head[0] = FRAME_FRAG;
             head[1..5].copy_from_slice(&xid.to_le_bytes());
             head[5..7].copy_from_slice(&(i as u16).to_le_bytes());
             head[7..9].copy_from_slice(&(total as u16).to_le_bytes());
-            self.send_dgram(to, sock, &[&head, c], at.map(|t| t + Ns(i as u64)));
+            all &= self.send_dgram(to, sock, &[&head, c], at.map(|t| t + Ns(i as u64)));
         }
+        all
+    }
+
+    /// Count and drop a frame that can't be interpreted (truncated header,
+    /// inconsistent fragment geometry, unknown kind — all possible once
+    /// fault injection corrupts bytes).
+    fn malformed(&mut self) -> Option<IncomingMsg> {
+        self.udp.clock().borrow_mut().stats.malformed_dropped += 1;
+        None
     }
 
     /// Handle one datagram; `Some` when a full message is available.
+    /// Loss tombstones surface as `IncomingMsg { lost: true }` so blocked
+    /// requesters observe the loss at its deterministic virtual time.
     fn handle(&mut self, sock: u16, d: tm_udp::Datagram) -> Option<IncomingMsg> {
         let chan = if sock == REQ_SOCK {
             Chan::Request
         } else {
             Chan::Response
         };
+        if d.lost {
+            return Some(IncomingMsg {
+                from: d.src,
+                chan,
+                data: Vec::new(),
+                arrival: d.ready,
+                lost: true,
+            });
+        }
+        if d.data.is_empty() {
+            return self.malformed();
+        }
         match d.data[0] {
             FRAME_DATA => {
                 let mut payload = pool::take(d.data.len() - 1);
@@ -108,13 +143,20 @@ impl UdpSubstrate {
                     chan,
                     data: payload,
                     arrival: d.ready,
+                    lost: false,
                 })
             }
             FRAME_FRAG => {
                 let body = &d.data[1..];
-                let xid = u32::from_le_bytes(body[0..4].try_into().unwrap());
-                let idx = u16::from_le_bytes(body[4..6].try_into().unwrap());
-                let total = u16::from_le_bytes(body[6..8].try_into().unwrap());
+                if body.len() < 8 {
+                    return self.malformed();
+                }
+                let xid = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
+                let idx = u16::from_le_bytes(body[4..6].try_into().expect("checked len"));
+                let total = u16::from_le_bytes(body[6..8].try_into().expect("checked len"));
+                if total == 0 || idx >= total {
+                    return self.malformed();
+                }
                 let mut payload = pool::take(body.len() - 8);
                 payload.extend_from_slice(&body[8..]);
                 let slot = match self
@@ -137,6 +179,12 @@ impl UdpSubstrate {
                 };
                 {
                     let p = &mut self.partials[slot];
+                    if p.chunks.len() != total as usize {
+                        // Geometry disagrees with the first fragment seen
+                        // for this xid: the frame is untrustworthy.
+                        pool::give(payload);
+                        return self.malformed();
+                    }
                     if p.chunks[idx as usize].is_none() {
                         p.chunks[idx as usize] = Some(payload);
                         p.have += 1;
@@ -159,12 +207,13 @@ impl UdpSubstrate {
                         chan,
                         data: full,
                         arrival: p.last_ready,
+                        lost: false,
                     })
                 } else {
                     None
                 }
             }
-            other => panic!("unknown UDP frame kind {other}"),
+            _ => self.malformed(),
         }
     }
 }
@@ -192,8 +241,8 @@ impl Substrate for UdpSubstrate {
         }
     }
 
-    fn send_request(&mut self, to: usize, data: &[u8]) {
-        self.send_msg(to, REQ_SOCK, data, None);
+    fn send_request(&mut self, to: usize, data: &[u8]) -> bool {
+        self.send_msg(to, REQ_SOCK, data, None)
     }
 
     fn send_request_at(&mut self, to: usize, data: &[u8], at: Ns) {
@@ -223,6 +272,44 @@ impl Substrate for UdpSubstrate {
             if let Some(msg) = self.handle(sock, d) {
                 return msg;
             }
+        }
+    }
+
+    fn next_incoming_until(&mut self, deadline: Ns) -> Option<IncomingMsg> {
+        loop {
+            let (sock, d) = self
+                .udp
+                .recv_any_timeout(&[REQ_SOCK, REP_SOCK], deadline, HANG_GUARD)?;
+            if let Some(msg) = self.handle(sock, d) {
+                return Some(msg);
+            }
+        }
+    }
+
+    fn retransmit_timeout(&self) -> Option<Ns> {
+        let p = self.udp.params();
+        let lossy = p.faults.lossy()
+            || p.faults.duplicate_probability > 0.0
+            || p.faults.reorder_probability > 0.0
+            || p.faults.recvbuf_datagrams > 0
+            || p.udp.drop_probability > 0.0;
+        lossy.then(|| p.udp.rto)
+    }
+
+    fn shutdown_poll(&mut self) -> ShutdownPoll {
+        if !self.udp.peers_alive() {
+            return ShutdownPoll::Done;
+        }
+        let deadline = self.udp.clock().borrow().now() + self.udp.params().udp.rto;
+        match self
+            .udp
+            .recv_any_timeout(&[REQ_SOCK, REP_SOCK], deadline, LINGER_GUARD)
+        {
+            Some((sock, d)) => match self.handle(sock, d) {
+                Some(msg) => ShutdownPoll::Msg(msg),
+                None => ShutdownPoll::Quiet,
+            },
+            None => ShutdownPoll::Quiet,
         }
     }
 }

@@ -253,6 +253,11 @@ impl GmNode {
         let now = self.clock.borrow().now();
         let gm = self.params.gm.clone();
         let net_tx = self.params.net.nic_tx;
+        if self.params.faults.token_starved(now) {
+            // Injected starvation window: behave exactly as if every
+            // token were outstanding.
+            return Err(GmError::NoSendTokens);
+        }
         let p = self.port_mut(port)?;
         if p.disabled {
             return Err(GmError::PortDisabled(port));
@@ -295,6 +300,9 @@ impl GmNode {
         assert!(len <= buf.data.len());
         self.absorb_failures(port);
         let net_tx = self.params.net.nic_tx;
+        if self.params.faults.token_starved(at) {
+            return Err(GmError::NoSendTokens);
+        }
         let p = self.port_mut(port)?;
         if p.disabled {
             return Err(GmError::PortDisabled(port));
@@ -335,6 +343,9 @@ impl GmNode {
         let now = self.clock.borrow().now();
         let gm = self.params.gm.clone();
         let net_tx = self.params.net.nic_tx;
+        if self.params.faults.token_starved(now) {
+            return Err(GmError::NoSendTokens);
+        }
         let p = self.port_mut(port)?;
         if p.disabled {
             return Err(GmError::PortDisabled(port));

@@ -1,6 +1,6 @@
 //! The switch fabric: per-link serialization and cut-through forwarding.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -23,6 +23,11 @@ pub struct Fabric {
     params: Arc<SimParams>,
     links: Vec<LinkState>,
     inboxes: Vec<Sender<RawPacket>>,
+    /// Which nodes still hold their NIC (cleared by `NicHandle::drop`).
+    /// Shutdown protocols under fault injection poll this: the barrier
+    /// manager lingers, answering duplicate requests, until every peer is
+    /// gone.
+    alive: Vec<AtomicBool>,
     /// Extra switch traversals beyond the first (multi-stage fabrics for
     /// >16 nodes; the paper's 16-node testbed used a single crossbar).
     extra_hops: u32,
@@ -53,10 +58,12 @@ impl Fabric {
         } else {
             (n as f64).log(16.0).ceil() as u32 - 1
         };
+        let alive = (0..n).map(|_| AtomicBool::new(true)).collect();
         let fabric = Arc::new(Fabric {
             params,
             links,
             inboxes,
+            alive,
             extra_hops,
         });
         let handles = receivers
@@ -69,6 +76,19 @@ impl Fabric {
 
     pub fn nprocs(&self) -> usize {
         self.links.len()
+    }
+
+    /// Mark a node's NIC as gone (called from `NicHandle::drop`).
+    pub(crate) fn mark_dead(&self, node: NodeId) {
+        self.alive[node].store(false, Ordering::Release);
+    }
+
+    /// Whether any node other than `me` still holds its NIC.
+    pub fn others_alive(&self, me: NodeId) -> bool {
+        self.alive
+            .iter()
+            .enumerate()
+            .any(|(i, a)| i != me && a.load(Ordering::Acquire))
     }
 
     pub fn params(&self) -> &SimParams {
@@ -111,6 +131,26 @@ impl Fabric {
         inject_time: Ns,
         directed: Option<(u32, u64)>,
     ) -> Ns {
+        self.transmit_flagged(src, dst, src_port, dst_port, payload, inject_time, directed, false)
+    }
+
+    /// [`Fabric::transmit`] with an explicit loss tombstone flag. A lost
+    /// packet occupies the wire like a real one (the bytes were sent; the
+    /// drop happens in flight) and still lands in the receiver's inbox so
+    /// the receiving thread wakes at its virtual arrival, but carries
+    /// `lost = true` so no payload is delivered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn transmit_flagged(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+        inject_time: Ns,
+        directed: Option<(u32, u64)>,
+        lost: bool,
+    ) -> Ns {
         assert!(src < self.nprocs() && dst < self.nprocs(), "bad node id");
         let net = &self.params.net;
         let wire = Ns::for_bytes(payload.len() + FRAME_OVERHEAD, net.link_mb_s);
@@ -133,12 +173,19 @@ impl Fabric {
             payload,
             arrival,
             directed,
+            lost,
         };
-        // Channel send can only fail if the receiver node already finished;
-        // late protocol traffic to a finished node is a bug upstream.
-        self.inboxes[dst]
-            .send(pkt)
-            .expect("destination node has already shut down");
+        // Channel send can only fail if the receiver node already finished.
+        // On a clean run that's a protocol bug upstream; under a fault plan
+        // it's legitimate late traffic (a retransmission or replayed
+        // response racing the destination's shutdown) and evaporates like
+        // any other in-flight packet to a powered-off host.
+        if self.inboxes[dst].send(pkt).is_err() {
+            assert!(
+                self.params.faults.enabled(),
+                "destination node has already shut down"
+            );
+        }
         arrival
     }
 }

@@ -45,6 +45,12 @@ impl NicHandle {
         &self.fabric
     }
 
+    /// Whether any peer node still holds its NIC (see
+    /// [`Fabric::others_alive`]).
+    pub fn others_alive(&self) -> bool {
+        self.fabric.others_alive(self.node)
+    }
+
     /// Inject a packet from this node (sender side). Thin forwarding to
     /// [`Fabric::transmit`]; cost accounting is the caller's business.
     pub fn inject(
@@ -58,6 +64,30 @@ impl NicHandle {
     ) -> Ns {
         self.fabric
             .transmit(self.node, dst, src_port, dst_port, payload, inject_time, directed)
+    }
+
+    /// Inject a fault-injection loss tombstone: the packet occupies the
+    /// wire and wakes the receiver at its virtual arrival, but is flagged
+    /// `lost` so the receiver layer discards (and counts) it instead of
+    /// delivering the payload.
+    pub fn inject_lost(
+        &self,
+        dst: NodeId,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+        inject_time: Ns,
+    ) -> Ns {
+        self.fabric.transmit_flagged(
+            self.node,
+            dst,
+            src_port,
+            dst_port,
+            payload,
+            inject_time,
+            None,
+            true,
+        )
     }
 
     fn queue_mut(&mut self, port: u16) -> &mut VecDeque<RawPacket> {
@@ -138,6 +168,40 @@ impl NicHandle {
         }
     }
 
+    /// Like [`NicHandle::recv_any_blocking`], but the park on an empty
+    /// channel is bounded by a *wall-clock* guard. This is the thin
+    /// escape hatch for hang detection: virtual-time code never depends
+    /// on the guard's value for correctness — it only fires when the
+    /// cluster is truly silent (e.g. a datagram was silently dropped with
+    /// no tombstone, which only receive-buffer overflow can produce).
+    /// Returns `None` if the guard expires with nothing queued.
+    pub fn recv_any_bounded(
+        &mut self,
+        ports: &[u16],
+        guard: std::time::Duration,
+    ) -> Option<RawPacket> {
+        loop {
+            self.drain();
+            let mut best: Option<(usize, Ns)> = None;
+            for (i, (p, q)) in self.queues.iter().enumerate() {
+                if ports.contains(p) {
+                    if let Some(front) = q.front() {
+                        if best.is_none_or(|(_, a)| front.arrival < a) {
+                            best = Some((i, front.arrival));
+                        }
+                    }
+                }
+            }
+            if let Some((i, _)) = best {
+                return Some(self.queues[i].1.pop_front().expect("non-empty"));
+            }
+            match self.rx.recv_timeout(guard) {
+                Ok(pkt) => self.stash(pkt),
+                Err(_) => return None,
+            }
+        }
+    }
+
     /// Block until any packet at all arrives (used by raw benchmarks).
     pub fn recv_blocking(&mut self) -> RawPacket {
         self.drain();
@@ -156,6 +220,12 @@ impl NicHandle {
             Ok(pkt) => pkt,
             Err(_) => panic!("node {}: all senders shut down", self.node),
         }
+    }
+}
+
+impl Drop for NicHandle {
+    fn drop(&mut self) {
+        self.fabric.mark_dead(self.node);
     }
 }
 

@@ -28,6 +28,13 @@ pub struct RawPacket {
     /// raise no receive event; `tm-gm` applies them to the target region
     /// silently, which is exactly GM's semantics.
     pub directed: Option<(u32, u64)>,
+    /// Fault-injection tombstone: the packet was "lost" in flight. It
+    /// still traverses the fabric so the receiving thread wakes at the
+    /// packet's virtual arrival time (keeping loss handling deterministic
+    /// — no wall-clock timeout guessing), but receivers must not deliver
+    /// its payload. Real hardware gives no such courtesy; the sim uses it
+    /// purely as a deterministic scheduling signal.
+    pub lost: bool,
 }
 
 impl RawPacket {
@@ -53,6 +60,7 @@ mod tests {
             payload: Bytes::from_static(b"hello"),
             arrival: Ns(0),
             directed: None,
+            lost: false,
         };
         assert_eq!(p.len(), 5);
         assert!(!p.is_empty());

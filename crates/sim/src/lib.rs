@@ -22,12 +22,14 @@
 //! substrate everything else is built on.
 
 pub mod clock;
+pub mod faults;
 pub mod params;
 pub mod runner;
 pub mod stats;
 pub mod time;
 
 pub use clock::{AsyncScheme, NodeClock, SharedClock};
+pub use faults::FaultPlan;
 pub use params::SimParams;
 pub use runner::{run_cluster, NodeEnv};
 pub use stats::NodeStats;

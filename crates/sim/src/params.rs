@@ -13,6 +13,7 @@
 //! `tests/calibration.rs` in the workspace root asserts these targets.
 
 use crate::clock::AsyncScheme;
+use crate::faults::FaultPlan;
 use crate::time::Ns;
 
 /// Wire and switch model for the Myrinet-2000 fabric.
@@ -133,6 +134,14 @@ pub struct UdpParams {
     /// paper could not even measure UDP/GM bandwidth because of this).
     /// Timing runs default to 0.
     pub drop_probability: f64,
+    /// Initial DSM retransmission timeout (virtual time). Only consulted
+    /// when the run is lossy; a zero-fault run never arms the timer.
+    /// Stock TreadMarks used a comparable per-request UDP timeout.
+    pub rto: Ns,
+    /// Retransmission cap: after this many resends of one request the
+    /// runtime gives up and panics (a real deployment would evict the
+    /// peer). Backoff doubles the RTO on every resend.
+    pub rto_retries: u32,
 }
 
 impl Default for UdpParams {
@@ -144,6 +153,8 @@ impl Default for UdpParams {
             mtu: 1_500,
             per_fragment: Ns(2_000),
             drop_probability: 0.0,
+            rto: Ns::from_us(400),
+            rto_retries: 12,
         }
     }
 }
@@ -210,6 +221,8 @@ pub struct SimParams {
     pub udp: UdpParams,
     pub dsm: DsmParams,
     pub cpu: CpuParams,
+    /// Deterministic fault-injection plan; all-off by default.
+    pub faults: FaultPlan,
 }
 
 impl SimParams {

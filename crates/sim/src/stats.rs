@@ -36,6 +36,27 @@ pub struct NodeStats {
     pub remote_acquires: u64,
     /// Barrier episodes participated in.
     pub barriers: u64,
+    // --- fault & reliability counters ---------------------------------
+    /// Datagrams lost in flight (injected drops + legacy drop_probability).
+    pub dgrams_dropped: u64,
+    /// Datagrams delivered twice by the fault plan.
+    pub dgrams_duplicated: u64,
+    /// Datagrams delayed past later traffic by the fault plan.
+    pub dgrams_reordered: u64,
+    /// Datagrams/frames whose payload was corrupted in flight.
+    pub dgrams_corrupted: u64,
+    /// DSM-level request retransmissions (timeout or observed loss).
+    pub retransmits: u64,
+    /// Duplicate requests absorbed by the responder's replay cache.
+    pub dup_requests_suppressed: u64,
+    /// Stale/duplicate responses discarded by the requester.
+    pub stale_responses_dropped: u64,
+    /// Frames rejected by the wire checksum (corruption detected).
+    pub crc_rejected: u64,
+    /// Frames/datagrams discarded as structurally malformed.
+    pub malformed_dropped: u64,
+    /// GM send attempts that hit `NoSendTokens` and had to back off.
+    pub token_stalls: u64,
 }
 
 impl NodeStats {
@@ -56,6 +77,32 @@ impl NodeStats {
         self.twins_created += other.twins_created;
         self.remote_acquires += other.remote_acquires;
         self.barriers += other.barriers;
+        self.dgrams_dropped += other.dgrams_dropped;
+        self.dgrams_duplicated += other.dgrams_duplicated;
+        self.dgrams_reordered += other.dgrams_reordered;
+        self.dgrams_corrupted += other.dgrams_corrupted;
+        self.retransmits += other.retransmits;
+        self.dup_requests_suppressed += other.dup_requests_suppressed;
+        self.stale_responses_dropped += other.stale_responses_dropped;
+        self.crc_rejected += other.crc_rejected;
+        self.malformed_dropped += other.malformed_dropped;
+        self.token_stalls += other.token_stalls;
+    }
+
+    /// Any fault/reliability event at all? Lets reports stay silent (and
+    /// byte-identical to pre-fault output) on clean runs.
+    pub fn any_faults(&self) -> bool {
+        self.dgrams_dropped
+            + self.dgrams_duplicated
+            + self.dgrams_reordered
+            + self.dgrams_corrupted
+            + self.retransmits
+            + self.dup_requests_suppressed
+            + self.stale_responses_dropped
+            + self.crc_rejected
+            + self.malformed_dropped
+            + self.token_stalls
+            > 0
     }
 }
 
@@ -81,6 +128,16 @@ mod tests {
             twins_created: 8,
             remote_acquires: 9,
             barriers: 10,
+            dgrams_dropped: 11,
+            dgrams_duplicated: 12,
+            dgrams_reordered: 13,
+            dgrams_corrupted: 14,
+            retransmits: 15,
+            dup_requests_suppressed: 16,
+            stale_responses_dropped: 17,
+            crc_rejected: 18,
+            malformed_dropped: 19,
+            token_stalls: 20,
         };
         let b = a.clone();
         a.merge(&b);
@@ -89,6 +146,26 @@ mod tests {
         assert_eq!(a.service_time, Ns(60));
         assert_eq!(a.barriers, 20);
         assert_eq!(a.twins_created, 16);
+        assert_eq!(a.dgrams_dropped, 22);
+        assert_eq!(a.retransmits, 30);
+        assert_eq!(a.dup_requests_suppressed, 32);
+        assert_eq!(a.crc_rejected, 36);
+        assert_eq!(a.token_stalls, 40);
+    }
+
+    #[test]
+    fn any_faults_spots_each_counter() {
+        assert!(!NodeStats::default().any_faults());
+        let s = NodeStats {
+            retransmits: 1,
+            ..NodeStats::default()
+        };
+        assert!(s.any_faults());
+        let s = NodeStats {
+            token_stalls: 1,
+            ..NodeStats::default()
+        };
+        assert!(s.any_faults());
     }
 
     #[test]

@@ -1,4 +1,13 @@
 //! The kernel UDP/IP socket model.
+//!
+//! Fault injection lives at this layer for the UDP path: every datagram
+//! passes through [`UdpStack::push_wire`], where the seeded per-node
+//! fault stream decides drop / duplicate / reorder / corrupt. Losses are
+//! injected as *tombstones* — `RawPacket { lost: true }` still traverses
+//! the fabric so the receiving thread wakes at the datagram's virtual
+//! arrival time. That keeps loss observable in virtual time (no
+//! wall-clock timeout guessing), which is what makes retransmission
+//! counts exactly reproducible.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -6,7 +15,8 @@ use std::sync::Arc;
 use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use tm_myrinet::{NicHandle, NodeId};
+use tm_myrinet::{NicHandle, NodeId, RawPacket};
+use tm_sim::faults::checksum32;
 use tm_sim::{Ns, SharedClock, SimParams};
 
 /// Sockets live above the GM port namespace on the shared fabric.
@@ -14,6 +24,9 @@ pub const SOCKET_PORT_BASE: u16 = 1024;
 
 /// Default socket receive-buffer capacity in datagrams (SO_RCVBUF-ish).
 const SOCKBUF_DATAGRAMS: usize = 256;
+
+/// Salt for the UDP datagram fault stream (see `FaultPlan::stream_seed`).
+const FAULT_SALT_UDP: u64 = 0x0d47;
 
 /// A datagram sitting in a socket's receive buffer.
 #[derive(Debug, Clone)]
@@ -25,6 +38,11 @@ pub struct Datagram {
     /// NIC arrival + receive interrupt + protocol processing + the copy
     /// into the socket buffer.
     pub ready: Ns,
+    /// Loss tombstone: the datagram was dropped in flight (or rejected by
+    /// the wire checksum). It carries no deliverable payload — receivers
+    /// use it purely as a virtual-time wake signal. Zero-fault runs never
+    /// see one.
+    pub lost: bool,
 }
 
 struct SocketState {
@@ -42,6 +60,12 @@ pub struct UdpStack {
     params: Arc<SimParams>,
     sockets: Vec<SocketState>,
     rng: SmallRng,
+    /// Fault-plan stream; `Some` only when the plan injects datagram
+    /// faults, so zero-fault runs draw nothing and stay bit-identical.
+    fault_rng: Option<SmallRng>,
+    /// Receive-buffer depth (the fault plan can shrink it to force
+    /// overflow pressure).
+    sockbuf: usize,
     /// Datagrams dropped (loss model + buffer overflow).
     pub drops: u64,
 }
@@ -49,12 +73,31 @@ pub struct UdpStack {
 impl UdpStack {
     pub fn new(nic: NicHandle, clock: SharedClock, params: Arc<SimParams>) -> Self {
         let seed = 0x7ead_a55e_u64 ^ (nic.node() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let f = &params.faults;
+        let fault_rng = if f.drop_probability > 0.0
+            || f.duplicate_probability > 0.0
+            || f.reorder_probability > 0.0
+            || f.corrupt_probability > 0.0
+        {
+            Some(SmallRng::seed_from_u64(
+                f.stream_seed(nic.node(), FAULT_SALT_UDP),
+            ))
+        } else {
+            None
+        };
+        let sockbuf = if f.recvbuf_datagrams > 0 {
+            f.recvbuf_datagrams
+        } else {
+            SOCKBUF_DATAGRAMS
+        };
         UdpStack {
             nic,
             clock,
             params,
             sockets: Vec::new(),
             rng: SmallRng::seed_from_u64(seed),
+            fault_rng,
+            sockbuf,
             drops: 0,
         }
     }
@@ -73,6 +116,12 @@ impl UdpStack {
 
     pub fn params(&self) -> &Arc<SimParams> {
         &self.params
+    }
+
+    /// Whether any peer node's NIC is still registered on the fabric
+    /// (shutdown-linger support under fault injection).
+    pub fn peers_alive(&self) -> bool {
+        self.nic.others_alive()
     }
 
     /// `socket() + bind()`: claim a local port. `sigio` models O_ASYNC.
@@ -95,59 +144,113 @@ impl UdpStack {
         (len.max(1)).div_ceil(self.params.udp.mtu) as u64
     }
 
-    /// `sendto()`: copy into the kernel, fragment, and inject.
-    pub fn sendto(&mut self, dst: NodeId, dst_port: u16, src_port: u16, data: &[u8]) {
+    /// `sendto()`: copy into the kernel, fragment, and inject. Returns
+    /// `false` if the datagram was dropped at this layer — real UDP gives
+    /// the sender no such signal, but the sim's requester uses it as the
+    /// deterministic stand-in for "my request evaporated" (the loss event
+    /// and its timing are fully decided sender-side either way).
+    pub fn sendto(&mut self, dst: NodeId, dst_port: u16, src_port: u16, data: &[u8]) -> bool {
         let cost = self.tx_cost(data.len());
         self.clock.borrow_mut().advance(cost);
-        let p = &self.params;
         {
             let mut c = self.clock.borrow_mut();
             c.stats.msgs_sent += 1;
             c.stats.bytes_sent += data.len() as u64;
         }
-        // Loss model: the datagram evaporates after the sender paid its
-        // costs (as with real UDP).
-        let drop_p = p.udp.drop_probability;
-        if drop_p > 0.0 && self.rng.random::<f64>() < drop_p {
-            self.drops += 1;
-            return;
-        }
         // The kernel path still crosses the NIC.
-        let inject = self.clock.borrow().now() + p.net.nic_tx;
-        self.nic.inject(
-            dst,
-            SOCKET_PORT_BASE + src_port,
-            SOCKET_PORT_BASE + dst_port,
-            Bytes::copy_from_slice(data),
-            inject,
-            None,
-        );
+        let inject = self.clock.borrow().now() + self.params.net.nic_tx;
+        self.push_wire(dst, dst_port, src_port, data, inject)
     }
 
     /// Like [`sendto`](UdpStack::sendto) but injects at virtual time `at`
     /// without charging the clock — for responses emitted from signal
     /// handlers whose kernel work was already accounted by the caller
     /// (fold [`UdpStack::tx_cost`] into the handler's service time).
-    pub fn sendto_at(&mut self, dst: NodeId, dst_port: u16, src_port: u16, data: &[u8], at: Ns) {
+    pub fn sendto_at(
+        &mut self,
+        dst: NodeId,
+        dst_port: u16,
+        src_port: u16,
+        data: &[u8],
+        at: Ns,
+    ) -> bool {
         {
             let mut c = self.clock.borrow_mut();
             c.stats.msgs_sent += 1;
             c.stats.bytes_sent += data.len() as u64;
         }
-        let drop_p = self.params.udp.drop_probability;
-        if drop_p > 0.0 && self.rng.random::<f64>() < drop_p {
-            self.drops += 1;
-            return;
-        }
         let inject = at + self.params.net.nic_tx;
-        self.nic.inject(
-            dst,
-            SOCKET_PORT_BASE + src_port,
-            SOCKET_PORT_BASE + dst_port,
-            Bytes::copy_from_slice(data),
-            inject,
-            None,
-        );
+        self.push_wire(dst, dst_port, src_port, data, inject)
+    }
+
+    /// Put one datagram on the wire, applying the loss model and the
+    /// fault plan. Returns `false` when the datagram was dropped.
+    fn push_wire(
+        &mut self,
+        dst: NodeId,
+        dst_port: u16,
+        src_port: u16,
+        data: &[u8],
+        inject: Ns,
+    ) -> bool {
+        let sp = SOCKET_PORT_BASE + src_port;
+        let dp = SOCKET_PORT_BASE + dst_port;
+        let legacy_p = self.params.udp.drop_probability;
+        if self.fault_rng.is_none() && legacy_p == 0.0 {
+            // Clean fast path: bit-identical to the pre-fault stack.
+            self.nic
+                .inject(dst, sp, dp, Bytes::copy_from_slice(data), inject, None);
+            return true;
+        }
+        let f = self.params.faults.clone();
+        // Wire image; corruption detection adds the checksum trailer.
+        let mut buf = Vec::with_capacity(data.len() + 4);
+        buf.extend_from_slice(data);
+        if f.checksum_frames() {
+            buf.extend_from_slice(&checksum32(data).to_le_bytes());
+        }
+        // Loss: the legacy knob draws from the legacy stream (unchanged
+        // sequence), the plan from its own. Both leave a tombstone so the
+        // receiver still wakes at the would-be arrival.
+        let mut dropped = legacy_p > 0.0 && self.rng.random::<f64>() < legacy_p;
+        if !dropped && f.drop_probability > 0.0 {
+            let r = self.fault_rng.as_mut().expect("fault rng");
+            dropped = r.random::<f64>() < f.drop_probability;
+        }
+        if dropped {
+            self.drops += 1;
+            self.clock.borrow_mut().stats.dgrams_dropped += 1;
+            self.nic.inject_lost(dst, sp, dp, Bytes::from(buf), inject);
+            return false;
+        }
+        if f.corrupt_probability > 0.0 {
+            let r = self.fault_rng.as_mut().expect("fault rng");
+            if r.random::<f64>() < f.corrupt_probability {
+                let i = (r.random::<u64>() as usize) % buf.len();
+                buf[i] ^= 0x20;
+                self.clock.borrow_mut().stats.dgrams_corrupted += 1;
+            }
+        }
+        let mut at = inject;
+        if f.reorder_probability > 0.0 {
+            let r = self.fault_rng.as_mut().expect("fault rng");
+            if r.random::<f64>() < f.reorder_probability {
+                at += f.reorder_delay;
+                self.clock.borrow_mut().stats.dgrams_reordered += 1;
+            }
+        }
+        let mut duplicate = false;
+        if f.duplicate_probability > 0.0 {
+            let r = self.fault_rng.as_mut().expect("fault rng");
+            duplicate = r.random::<f64>() < f.duplicate_probability;
+        }
+        let payload = Bytes::from(buf);
+        self.nic.inject(dst, sp, dp, payload.clone(), at, None);
+        if duplicate {
+            self.clock.borrow_mut().stats.dgrams_duplicated += 1;
+            self.nic.inject(dst, sp, dp, payload, at + Ns(1), None);
+        }
+        true
     }
 
     /// Host-side transmit cost of a datagram of `len` bytes (what
@@ -181,29 +284,67 @@ impl UdpStack {
             + Ns::for_bytes(len, p.host.memcpy_mb_s) * 2
     }
 
+    /// Admit one NIC packet into its socket buffer: checksum verification,
+    /// overflow pressure, tombstone passthrough. The single admission
+    /// point for both the polled drain and the blocking park path.
+    fn admit(&mut self, pkt: RawPacket) {
+        let port = pkt.dst_port - SOCKET_PORT_BASE;
+        if !self.sockets.iter().any(|s| s.port == port) {
+            // No such socket: the kernel discards (ICMP unreachable elided).
+            return;
+        }
+        let mut data = pkt.payload;
+        let mut lost = pkt.lost;
+        if self.params.faults.checksum_frames() && !lost {
+            // Verify and strip the 4-byte trailer appended by push_wire.
+            if data.len() < 4 {
+                self.clock.borrow_mut().stats.malformed_dropped += 1;
+                return;
+            }
+            let body = data.len() - 4;
+            let want = u32::from_le_bytes([
+                data[body],
+                data[body + 1],
+                data[body + 2],
+                data[body + 3],
+            ]);
+            if checksum32(&data[..body]) != want {
+                // Corrupted in flight: reject, but keep a tombstone so a
+                // requester blocked on this datagram still wakes.
+                self.clock.borrow_mut().stats.crc_rejected += 1;
+                lost = true;
+            }
+            data = Bytes::copy_from_slice(&data[..body]);
+        }
+        let ready = pkt.arrival + self.rx_kernel_cost(data.len());
+        let sockbuf = self.sockbuf;
+        let sock = self
+            .sockets
+            .iter_mut()
+            .find(|s| s.port == port)
+            .expect("bound");
+        if !lost && sock.queue.len() >= sockbuf {
+            // Socket buffer overflow: silently dropped, like real UDP.
+            self.drops += 1;
+            self.clock.borrow_mut().stats.dgrams_dropped += 1;
+            return;
+        }
+        sock.queue.push_back(Datagram {
+            src: pkt.src,
+            src_port: pkt.src_port - SOCKET_PORT_BASE,
+            data,
+            ready,
+            lost,
+        });
+    }
+
     /// Pull NIC arrivals into socket buffers.
     fn drain(&mut self) {
         // Collect bound ports first (borrow discipline).
         let ports: Vec<u16> = self.sockets.iter().map(|s| s.port).collect();
         for port in ports {
             while let Some(pkt) = self.nic.poll_port(SOCKET_PORT_BASE + port) {
-                let ready = pkt.arrival + self.rx_kernel_cost(pkt.payload.len());
-                let sock = self
-                    .sockets
-                    .iter_mut()
-                    .find(|s| s.port == port)
-                    .expect("bound");
-                if sock.queue.len() >= SOCKBUF_DATAGRAMS {
-                    // Socket buffer overflow: silently dropped, like real UDP.
-                    self.drops += 1;
-                    continue;
-                }
-                sock.queue.push_back(Datagram {
-                    src: pkt.src,
-                    src_port: pkt.src_port - SOCKET_PORT_BASE,
-                    data: pkt.payload,
-                    ready,
-                });
+                self.admit(pkt);
             }
         }
     }
@@ -217,11 +358,15 @@ impl UdpStack {
 
     /// Non-blocking `recvfrom(MSG_DONTWAIT)`: returns a datagram whose
     /// kernel processing completed by the node's current virtual time.
+    /// Tombstones are discarded silently — the kernel never saw them.
     pub fn try_recvfrom(&mut self, port: u16) -> Option<Datagram> {
         self.drain();
         let now = self.clock.borrow().now();
         let syscall = self.params.host.syscall;
         let sock = self.sock_mut(port);
+        while sock.queue.front().is_some_and(|d| d.lost && d.ready <= now) {
+            sock.queue.pop_front();
+        }
         if sock.queue.front().is_some_and(|d| d.ready <= now) {
             let d = sock.queue.pop_front().expect("non-empty");
             // recvfrom syscall + the serial kernel delivery work.
@@ -254,6 +399,35 @@ impl UdpStack {
         best
     }
 
+    /// Pop the front datagram of `port`, waiting (in virtual time) for it
+    /// to become ready and charging delivery costs. Tombstones are
+    /// returned uncharged — they are wake signals, not kernel traffic.
+    fn pop_ready(&mut self, port: u16) -> (u16, Datagram) {
+        let p = self.params.clone();
+        let ready = self.sock_mut(port).queue.front().expect("non-empty").ready;
+        let was_waiting = {
+            let mut c = self.clock.borrow_mut();
+            let waited = ready > c.now();
+            c.wait_until(ready);
+            waited
+        };
+        let d = self.sock_mut(port).queue.pop_front().expect("non-empty");
+        if d.lost {
+            return (port, d);
+        }
+        if was_waiting {
+            // The kernel had to wake us.
+            self.clock.borrow_mut().advance(p.host.sched_wakeup);
+        }
+        let consume = self.rx_consume_cost(d.data.len());
+        self.clock.borrow_mut().advance(p.host.syscall + consume);
+        let mut c = self.clock.borrow_mut();
+        c.stats.msgs_recv += 1;
+        c.stats.bytes_recv += d.data.len() as u64;
+        drop(c);
+        (port, d)
+    }
+
     /// Blocking `recvfrom()` on one port.
     pub fn recvfrom(&mut self, port: u16) -> Datagram {
         self.recv_any(&[port]).1
@@ -263,68 +437,55 @@ impl UdpStack {
     /// any of `ports`. Charges the select syscall and a scheduler wakeup
     /// if the process actually slept.
     pub fn recv_any(&mut self, ports: &[u16]) -> (u16, Datagram) {
-        let p = self.params.clone();
-        self.clock.borrow_mut().advance(p.host.syscall); // select()
+        self.clock.borrow_mut().advance(self.params.host.syscall); // select()
         loop {
-            if let Some((port, ready)) = self.earliest_queued(ports) {
-                let was_waiting = {
-                    let mut c = self.clock.borrow_mut();
-                    let waited = ready > c.now();
-                    c.wait_until(ready);
-                    waited
-                };
-                if was_waiting {
-                    // The kernel had to wake us.
-                    self.clock.borrow_mut().advance(p.host.sched_wakeup);
-                }
-                let syscall = p.host.syscall;
-                let sock = self.sock_mut(port);
-                let d = sock.queue.pop_front().expect("non-empty");
-                let consume = self.rx_consume_cost(d.data.len());
-                self.clock.borrow_mut().advance(syscall + consume);
-                let mut c = self.clock.borrow_mut();
-                c.stats.msgs_recv += 1;
-                c.stats.bytes_recv += d.data.len() as u64;
-                drop(c);
-                return (port, d);
+            if let Some((port, _)) = self.earliest_queued(ports) {
+                return self.pop_ready(port);
             }
             // Park on the NIC channel until something arrives for us.
             let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
             let pkt = self.nic.recv_any_blocking(&filter);
-            let ready = pkt.arrival + self.rx_kernel_cost(pkt.payload.len());
-            let port = pkt.dst_port - SOCKET_PORT_BASE;
-            let sock = self.sock_mut(port);
-            if sock.queue.len() >= SOCKBUF_DATAGRAMS {
-                self.drops += 1;
-                continue;
-            }
-            sock.queue.push_back(Datagram {
-                src: pkt.src,
-                src_port: pkt.src_port - SOCKET_PORT_BASE,
-                data: pkt.payload,
-                ready,
-            });
+            self.admit(pkt);
         }
     }
 
-    /// Like [`recv_any`] but gives up after `real_timeout` of *wall-clock*
-    /// silence — the escape hatch the DSM substrate uses to retransmit
-    /// when the loss model is active. Returns `None` on timeout.
+    /// Like [`recv_any`](UdpStack::recv_any) but bounded by a *virtual*
+    /// deadline: returns `None` (with the clock advanced to `deadline`)
+    /// if no datagram becomes ready by then. This is what the DSM's
+    /// retransmission timer runs on — determinism requires the timeout to
+    /// be virtual.
+    ///
+    /// `guard` is the thin wall-clock escape hatch: if the NIC channel
+    /// stays silent that long in real time, the wait is abandoned as a
+    /// hang. Virtual-time behavior never depends on its value — it only
+    /// fires when nothing is in flight at all (e.g. a receive-buffer
+    /// overflow swallowed the last traffic without a tombstone).
     pub fn recv_any_timeout(
         &mut self,
         ports: &[u16],
-        real_timeout: std::time::Duration,
+        deadline: Ns,
+        guard: std::time::Duration,
     ) -> Option<(u16, Datagram)> {
-        let deadline = std::time::Instant::now() + real_timeout;
+        self.clock.borrow_mut().advance(self.params.host.syscall); // select()
         loop {
-            if self.earliest_queued(ports).is_some() {
-                return Some(self.recv_any(ports));
-            }
-            if std::time::Instant::now() >= deadline {
+            if let Some((port, ready)) = self.earliest_queued(ports) {
+                if ready <= deadline {
+                    return Some(self.pop_ready(port));
+                }
+                // Something is queued but lands after the deadline: the
+                // timer fires first.
+                self.clock.borrow_mut().wait_until(deadline);
                 return None;
             }
-            std::thread::yield_now();
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
+            match self.nic.recv_any_bounded(&filter, guard) {
+                Some(pkt) => self.admit(pkt),
+                None => {
+                    // True wall-clock silence: treat as a virtual timeout.
+                    self.clock.borrow_mut().wait_until(deadline);
+                    return None;
+                }
+            }
         }
     }
 
@@ -335,7 +496,7 @@ impl UdpStack {
         self.drain();
         self.sockets
             .iter()
-            .any(|s| s.sigio && !s.queue.is_empty())
+            .any(|s| s.sigio && s.queue.iter().any(|d| !d.lost))
     }
 
     /// Peek the earliest ready-time on a port without consuming.
@@ -353,9 +514,14 @@ mod tests {
     use super::*;
     use tm_myrinet::Fabric;
     use tm_sim::clock::shared_clock;
+    use tm_sim::FaultPlan;
 
     fn stacks(n: usize) -> Vec<UdpStack> {
-        let params = Arc::new(SimParams::paper_testbed());
+        stacks_with(n, SimParams::paper_testbed())
+    }
+
+    fn stacks_with(n: usize, params: SimParams) -> Vec<UdpStack> {
+        let params = Arc::new(params);
         let (_fabric, nics) = Fabric::new(n, Arc::clone(&params));
         nics.into_iter()
             .map(|nic| UdpStack::new(nic, shared_clock(), Arc::clone(&params)))
@@ -371,11 +537,12 @@ mod tests {
         };
         a.bind(7, false);
         b.bind(9, false);
-        a.sendto(1, 9, 7, b"ping");
+        assert!(a.sendto(1, 9, 7, b"ping"));
         let d = b.recvfrom(9);
         assert_eq!(&d.data[..], b"ping");
         assert_eq!(d.src, 0);
         assert_eq!(d.src_port, 7);
+        assert!(!d.lost);
         // UDP latency must be well above raw GM's ~9us.
         assert!(b.clock().borrow().now() > Ns::from_us(15));
     }
@@ -413,17 +580,148 @@ mod tests {
         let params = {
             let mut p = SimParams::paper_testbed();
             p.udp.drop_probability = 1.0;
-            Arc::new(p)
+            p
         };
-        let (_f, mut nics) = Fabric::new(2, Arc::clone(&params));
-        let mut b = UdpStack::new(nics.pop().unwrap(), shared_clock(), Arc::clone(&params));
-        let mut a = UdpStack::new(nics.pop().unwrap(), shared_clock(), params);
+        let mut s = stacks_with(2, params);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
         a.bind(1, false);
         b.bind(2, false);
-        a.sendto(1, 2, 1, b"doomed");
+        assert!(!a.sendto(1, 2, 1, b"doomed"));
         assert_eq!(a.drops, 1);
+        assert_eq!(a.clock().borrow().stats.dgrams_dropped, 1);
         b.clock().borrow_mut().advance(Ns::from_ms(10));
         assert!(b.try_recvfrom(2).is_none());
+    }
+
+    #[test]
+    fn dropped_datagram_leaves_a_tombstone() {
+        let params = {
+            let mut p = SimParams::paper_testbed();
+            p.faults = FaultPlan {
+                drop_probability: 1.0,
+                ..FaultPlan::default()
+            };
+            p
+        };
+        let mut s = stacks_with(2, params);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        assert!(!a.sendto(1, 2, 1, b"doomed"));
+        // The receiver still wakes: recv_any surfaces the tombstone.
+        let (port, d) = b.recv_any(&[2]);
+        assert_eq!(port, 2);
+        assert!(d.lost);
+        // But the polled path never shows it.
+        assert!(b.try_recvfrom(2).is_none());
+    }
+
+    #[test]
+    fn duplicate_fault_delivers_twice() {
+        let params = {
+            let mut p = SimParams::paper_testbed();
+            p.faults = FaultPlan {
+                duplicate_probability: 1.0,
+                ..FaultPlan::default()
+            };
+            p
+        };
+        let mut s = stacks_with(2, params);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        assert!(a.sendto(1, 2, 1, b"twice"));
+        assert_eq!(a.clock().borrow().stats.dgrams_duplicated, 1);
+        let (_, d1) = b.recv_any(&[2]);
+        let (_, d2) = b.recv_any(&[2]);
+        assert_eq!(&d1.data[..], b"twice");
+        assert_eq!(&d2.data[..], b"twice");
+    }
+
+    #[test]
+    fn corruption_is_detected_and_tombstoned() {
+        let params = {
+            let mut p = SimParams::paper_testbed();
+            p.faults = FaultPlan {
+                corrupt_probability: 1.0,
+                ..FaultPlan::default()
+            };
+            p
+        };
+        let mut s = stacks_with(2, params);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        assert!(a.sendto(1, 2, 1, b"garbled"));
+        assert_eq!(a.clock().borrow().stats.dgrams_corrupted, 1);
+        let (_, d) = b.recv_any(&[2]);
+        assert!(d.lost, "CRC reject must become a tombstone");
+        assert_eq!(b.clock().borrow().stats.crc_rejected, 1);
+    }
+
+    #[test]
+    fn checksum_roundtrip_when_clean() {
+        // Corruption *enabled* (so trailers are on the wire) but with the
+        // fault stream seeded such that... easier: probability 0.0 cannot
+        // enable checksums, so use a tiny probability and a payload-only
+        // assertion across many sends is overkill. Instead: corruption on,
+        // but verify an uncorrupted datagram by sending until one survives.
+        let params = {
+            let mut p = SimParams::paper_testbed();
+            p.faults = FaultPlan {
+                corrupt_probability: 0.3,
+                ..FaultPlan::default()
+            };
+            p
+        };
+        let mut s = stacks_with(2, params);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        let mut clean = 0;
+        for _ in 0..20 {
+            a.sendto(1, 2, 1, b"payload");
+            let (_, d) = b.recv_any(&[2]);
+            if !d.lost {
+                // Trailer must be stripped before delivery.
+                assert_eq!(&d.data[..], b"payload");
+                clean += 1;
+            }
+        }
+        assert!(clean > 0, "some datagrams must survive 30% corruption");
+    }
+
+    #[test]
+    fn recvbuf_pressure_forces_overflow() {
+        let params = {
+            let mut p = SimParams::paper_testbed();
+            p.faults = FaultPlan {
+                recvbuf_datagrams: 2,
+                ..FaultPlan::default()
+            };
+            p
+        };
+        let mut s = stacks_with(2, params);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        for _ in 0..5 {
+            a.sendto(1, 2, 1, b"flood");
+        }
+        b.clock().borrow_mut().advance(Ns::from_ms(10));
+        let mut got = 0;
+        while b.try_recvfrom(2).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, 2, "only the buffer depth survives");
+        assert_eq!(b.drops, 3);
+        assert_eq!(b.clock().borrow().stats.dgrams_dropped, 3);
     }
 
     #[test]
@@ -431,8 +729,28 @@ mod tests {
         let mut s = stacks(2);
         let mut b = s.pop().unwrap();
         b.bind(2, false);
-        let got = b.recv_any_timeout(&[2], std::time::Duration::from_millis(20));
+        let deadline = b.clock().borrow().now() + Ns::from_us(500);
+        let got = b.recv_any_timeout(&[2], deadline, std::time::Duration::from_millis(20));
         assert!(got.is_none());
+        // The virtual clock advanced to the deadline, not to wall time.
+        assert!(b.clock().borrow().now() >= deadline);
+    }
+
+    #[test]
+    fn recv_timeout_expires_before_late_arrival() {
+        let mut s = stacks(2);
+        let mut b = s.pop().unwrap();
+        let mut a = s.pop().unwrap();
+        a.bind(1, false);
+        b.bind(2, false);
+        a.sendto(1, 2, 1, b"late");
+        // The datagram is ready ~tens of µs in; deadline far earlier.
+        let deadline = b.clock().borrow().now() + Ns(10);
+        let got = b.recv_any_timeout(&[2], deadline, std::time::Duration::from_secs(1));
+        assert!(got.is_none(), "timer must fire before the late datagram");
+        // The datagram is still there for a later receive.
+        let (_, d) = b.recv_any(&[2]);
+        assert_eq!(&d.data[..], b"late");
     }
 
     #[test]
