@@ -1,0 +1,366 @@
+//! Shared substrate framing: fragmentation geometry, fragment headers,
+//! and partial-frame reassembly.
+//!
+//! Both transports carry DSM messages larger than one wire unit by
+//! cutting the logical stream into indexed fragments and reassembling at
+//! the receiver. The geometry and bookkeeping are transport-independent;
+//! only the *cost model* (what a fragment costs to send/receive) and the
+//! *event source* (GM receive events vs. socket datagrams) differ. This
+//! module is the single implementation both FAST/GM and UDP/GM use:
+//!
+//! * [`FragPlan`] — how a stream of `len` bytes splits at a chunk size
+//!   (also the IP-level fragment count the UDP kernel cost model folds
+//!   per-fragment costs over, via [`fragment_count`]);
+//! * [`FragHeader`] — the `xid`/`idx`/`total` header every fragment
+//!   carries (encode and checked decode);
+//! * [`Reassembler`] — per-`(src, xid, tag)` partial-frame tracking with
+//!   duplicate suppression, geometry validation, and single-copy
+//!   assembly into a pooled buffer.
+//!
+//! Wire-format note: the transport's one-byte frame *kind* stays with the
+//! transport (FAST and UDP use different kind values); this module owns
+//! everything after it.
+
+use tm_sim::Ns;
+
+use crate::wire::pool;
+
+/// Encoded size of the header body: `[xid u32][idx u16][total u16]`.
+pub const FRAG_BODY_LEN: usize = 8;
+
+/// The per-fragment header: which transfer, which piece, how many pieces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FragHeader {
+    /// Transfer id, unique per sender (one counter per substrate).
+    pub xid: u32,
+    /// This fragment's index in `0..total`.
+    pub idx: u16,
+    /// Total fragments in the transfer.
+    pub total: u16,
+}
+
+impl FragHeader {
+    /// The full on-wire head: `[kind] ++ [xid][idx][total]`.
+    pub fn head(&self, kind: u8) -> [u8; 1 + FRAG_BODY_LEN] {
+        let mut h = [0u8; 1 + FRAG_BODY_LEN];
+        h[0] = kind;
+        h[1..5].copy_from_slice(&self.xid.to_le_bytes());
+        h[5..7].copy_from_slice(&self.idx.to_le_bytes());
+        h[7..9].copy_from_slice(&self.total.to_le_bytes());
+        h
+    }
+
+    /// Checked decode of a fragment body (everything after the kind
+    /// byte). `None` on a truncated header or impossible geometry
+    /// (`total == 0`, `idx >= total`) — the callers count those as
+    /// malformed frames. Returns the header and the fragment payload.
+    pub fn parse(body: &[u8]) -> Option<(FragHeader, &[u8])> {
+        if body.len() < FRAG_BODY_LEN {
+            return None;
+        }
+        let xid = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
+        let idx = u16::from_le_bytes(body[4..6].try_into().expect("checked len"));
+        let total = u16::from_le_bytes(body[6..8].try_into().expect("checked len"));
+        if total == 0 || idx >= total {
+            return None;
+        }
+        Some((FragHeader { xid, idx, total }, &body[FRAG_BODY_LEN..]))
+    }
+}
+
+/// How many wire units a payload of `len` bytes occupies at unit size
+/// `mtu` (at least one — an empty datagram still travels). This is both
+/// the DSM-level fragment count and the IP-level fragment count the UDP
+/// kernel model folds per-fragment interrupt/bookkeeping costs over.
+pub fn fragment_count(len: usize, mtu: usize) -> usize {
+    len.max(1).div_ceil(mtu)
+}
+
+/// Fragmentation geometry for one outbound transfer: `len` stream bytes
+/// cut into `total` chunks of at most `chunk` bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct FragPlan {
+    len: usize,
+    chunk: usize,
+    /// Number of fragments the stream cuts into.
+    pub total: usize,
+}
+
+/// Plan the split of a `len`-byte logical stream at `chunk` bytes per
+/// fragment. `len` must be positive (callers only fragment oversized
+/// frames).
+pub fn plan(len: usize, chunk: usize) -> FragPlan {
+    debug_assert!(len > 0 && chunk > 0);
+    FragPlan {
+        len,
+        chunk,
+        total: len.div_ceil(chunk),
+    }
+}
+
+impl FragPlan {
+    /// The byte range of the logical stream each fragment carries, in
+    /// index order — identical boundaries to slicing a materialized
+    /// frame.
+    pub fn ranges(&self) -> impl Iterator<Item = core::ops::Range<usize>> + '_ {
+        let (chunk, len) = (self.chunk, self.len);
+        (0..self.total).map(move |i| (i * chunk)..((i + 1) * chunk).min(len))
+    }
+}
+
+/// A partially reassembled transfer.
+struct Partial<T> {
+    src: usize,
+    tag: T,
+    xid: u32,
+    have: u16,
+    chunks: Vec<Option<Vec<u8>>>,
+    last_arrival: Ns,
+}
+
+/// Outcome of absorbing one fragment.
+pub enum Insert<T> {
+    /// Fragment absorbed (or was a duplicate); the transfer is still
+    /// incomplete.
+    Pending,
+    /// The fragment's geometry disagrees with the first fragment seen for
+    /// this transfer — the frame is untrustworthy and the fragment was
+    /// discarded (count it as malformed).
+    Malformed,
+    /// The last piece arrived: the complete frame.
+    Complete(CompleteFrame<T>),
+}
+
+/// A fully reassembled transfer, ready for single-copy assembly.
+pub struct CompleteFrame<T> {
+    /// Sending node.
+    pub src: usize,
+    /// The caller's demux tag (port or socket) from the first fragment.
+    pub tag: T,
+    /// Latest fragment arrival — when the frame became deliverable.
+    pub arrival: Ns,
+    chunks: Vec<Option<Vec<u8>>>,
+}
+
+impl<T> CompleteFrame<T> {
+    /// First byte of the logical stream (the transport's embedded kind
+    /// byte, when the transport fragments kind-prefixed frames).
+    pub fn first_byte(&self) -> u8 {
+        self.chunks[0].as_ref().expect("complete")[0]
+    }
+
+    /// Join the chunks into one pooled buffer, skipping the first `skip`
+    /// bytes of the logical stream (a transport that fragments
+    /// `[kind] ++ body` strips its kind byte here). Single copy: each
+    /// chunk moves straight into the surfaced buffer and returns to the
+    /// pool.
+    pub fn assemble(self, skip: usize) -> Vec<u8> {
+        let flen: usize = self.chunks.iter().flatten().map(Vec::len).sum();
+        let mut full = pool::take(flen - skip);
+        for (i, c) in self.chunks.into_iter().enumerate() {
+            let c = c.expect("complete");
+            if i == 0 {
+                full.extend_from_slice(&c[skip..]);
+            } else {
+                full.extend_from_slice(&c);
+            }
+            pool::give(c);
+        }
+        full
+    }
+}
+
+/// Receiver-side reassembly state for one endpoint. `T` is the
+/// transport's demux tag (GM port, UDP socket): transfers are keyed on
+/// `(src, xid, tag)`, so an xid reused across channels can never splice.
+pub struct Reassembler<T> {
+    partials: Vec<Partial<T>>,
+}
+
+impl<T: Copy + Eq> Reassembler<T> {
+    pub fn new() -> Self {
+        Reassembler {
+            partials: Vec::new(),
+        }
+    }
+
+    /// Number of transfers currently in flight (introspection/tests).
+    pub fn in_flight(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Absorb one fragment. `payload` must be a pooled buffer holding
+    /// exactly this fragment's bytes; ownership transfers (it is recycled
+    /// on duplicates and surfaced inside [`Insert::Complete`]).
+    pub fn insert(
+        &mut self,
+        src: usize,
+        tag: T,
+        h: FragHeader,
+        payload: Vec<u8>,
+        arrival: Ns,
+    ) -> Insert<T> {
+        let slot = match self
+            .partials
+            .iter()
+            .position(|p| p.src == src && p.xid == h.xid && p.tag == tag)
+        {
+            Some(i) => i,
+            None => {
+                self.partials.push(Partial {
+                    src,
+                    tag,
+                    xid: h.xid,
+                    have: 0,
+                    chunks: vec![None; h.total as usize],
+                    last_arrival: arrival,
+                });
+                self.partials.len() - 1
+            }
+        };
+        {
+            let p = &mut self.partials[slot];
+            if p.chunks.len() != h.total as usize {
+                pool::give(payload);
+                return Insert::Malformed;
+            }
+            if p.chunks[h.idx as usize].is_none() {
+                p.chunks[h.idx as usize] = Some(payload);
+                p.have += 1;
+            } else {
+                // Duplicate fragment (lossy transports retransmit whole
+                // messages): keep the first copy.
+                pool::give(payload);
+            }
+            p.last_arrival = p.last_arrival.max(arrival);
+        }
+        if self.partials[slot].have as usize == self.partials[slot].chunks.len() {
+            let p = self.partials.remove(slot);
+            Insert::Complete(CompleteFrame {
+                src: p.src,
+                tag: p.tag,
+                arrival: p.last_arrival,
+                chunks: p.chunks,
+            })
+        } else {
+            Insert::Pending
+        }
+    }
+}
+
+impl<T: Copy + Eq> Default for Reassembler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(xid: u32, idx: u16, total: u16) -> FragHeader {
+        FragHeader { xid, idx, total }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = frag(0xDEAD_BEEF, 3, 9);
+        let head = h.head(4);
+        assert_eq!(head[0], 4);
+        let (got, rest) = FragHeader::parse(&head[1..]).expect("parses");
+        assert_eq!(got, h);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_bad_geometry() {
+        assert!(FragHeader::parse(&[0u8; 7]).is_none(), "truncated");
+        let zero_total = frag(1, 0, 0).head(0);
+        // Hand-build: total 0 is impossible.
+        assert!(FragHeader::parse(&zero_total[1..]).is_none());
+        let oob = frag(1, 5, 5).head(0);
+        assert!(FragHeader::parse(&oob[1..]).is_none(), "idx >= total");
+    }
+
+    #[test]
+    fn plan_covers_stream_exactly() {
+        let p = plan(100, 30);
+        assert_eq!(p.total, 4);
+        let ranges: Vec<_> = p.ranges().collect();
+        assert_eq!(ranges, vec![0..30, 30..60, 60..90, 90..100]);
+        // Exact multiple: no ragged tail.
+        let q = plan(60, 30);
+        assert_eq!(q.total, 2);
+        assert_eq!(q.ranges().last(), Some(30..60));
+    }
+
+    #[test]
+    fn fragment_count_floor_is_one() {
+        assert_eq!(fragment_count(0, 1500), 1);
+        assert_eq!(fragment_count(1500, 1500), 1);
+        assert_eq!(fragment_count(1501, 1500), 2);
+    }
+
+    #[test]
+    fn reassembles_out_of_order_with_duplicates() {
+        let mut r: Reassembler<u8> = Reassembler::new();
+        let parts: [&[u8]; 3] = [b"aa", b"bb", b"c"];
+        // Deliver 2, 0, 0 (dup), 1.
+        for (idx, t) in [(2u16, Ns(30)), (0, Ns(10)), (0, Ns(11)), (1, Ns(20))] {
+            let got = r.insert(7, 1, frag(42, idx, 3), parts[idx as usize].to_vec(), t);
+            match (idx, got) {
+                (1, Insert::Complete(f)) => {
+                    assert_eq!(f.src, 7);
+                    assert_eq!(f.tag, 1);
+                    assert_eq!(f.arrival, Ns(30), "latest fragment arrival wins");
+                    assert_eq!(f.assemble(0), b"aabbc");
+                }
+                (1, _) => panic!("last fragment must complete"),
+                (_, Insert::Pending) => {}
+                _ => panic!("unexpected outcome"),
+            }
+        }
+        assert_eq!(r.in_flight(), 0);
+    }
+
+    #[test]
+    fn assemble_skips_embedded_kind_byte() {
+        let mut r: Reassembler<u8> = Reassembler::new();
+        let Insert::Pending = r.insert(0, 0, frag(1, 0, 2), b"\x00head".to_vec(), Ns(1)) else {
+            panic!("incomplete")
+        };
+        let Insert::Complete(f) = r.insert(0, 0, frag(1, 1, 2), b"tail".to_vec(), Ns(2)) else {
+            panic!("complete")
+        };
+        assert_eq!(f.first_byte(), 0);
+        assert_eq!(f.assemble(1), b"headtail");
+    }
+
+    #[test]
+    fn distinct_tags_never_splice() {
+        let mut r: Reassembler<u8> = Reassembler::new();
+        assert!(matches!(
+            r.insert(0, 1, frag(5, 0, 2), b"x".to_vec(), Ns(0)),
+            Insert::Pending
+        ));
+        // Same (src, xid) on another tag is a different transfer.
+        assert!(matches!(
+            r.insert(0, 2, frag(5, 1, 2), b"y".to_vec(), Ns(0)),
+            Insert::Pending
+        ));
+        assert_eq!(r.in_flight(), 2);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_malformed() {
+        let mut r: Reassembler<u8> = Reassembler::new();
+        assert!(matches!(
+            r.insert(0, 0, frag(9, 0, 3), b"x".to_vec(), Ns(0)),
+            Insert::Pending
+        ));
+        assert!(matches!(
+            r.insert(0, 0, frag(9, 1, 4), b"y".to_vec(), Ns(0)),
+            Insert::Malformed
+        ));
+    }
+}

@@ -34,6 +34,7 @@
 //! modeled fault costs.
 
 pub mod diff;
+pub mod framing;
 pub mod interval;
 pub mod memsub;
 pub mod page;
@@ -44,5 +45,5 @@ pub mod vc;
 pub mod wire;
 
 pub use substrate::{Chan, IncomingMsg, ShutdownPoll, Substrate};
-pub use tmk::{SharedId, Tmk, TmkConfig};
+pub use tmk::{SharedId, Tmk, TmkConfig, TmkEvent};
 pub use vc::VectorClock;

@@ -1,0 +1,222 @@
+//! The Tmk runtime: the TreadMarks API over a [`Substrate`].
+//!
+//! One `Tmk` lives in each node thread. The API mirrors TreadMarks':
+//! `malloc`/`distribute`, `barrier`, lock `acquire`/`release`, plus the
+//! byte/typed accessors that stand in for direct loads and stores (they
+//! drive the page-fault state machine an mprotect build would).
+//!
+//! All protocol work is costed through the node's virtual clock; handler
+//! work triggered by peers' asynchronous requests goes through
+//! [`tm_sim::NodeClock::service_window`], which models interrupt
+//! preemption — including retroactively, when the request arrived while
+//! this node was computing.
+//!
+//! # Layering
+//!
+//! The runtime is an explicit layer stack, one module per layer, mirroring
+//! the paper's Figure 1 (TreadMarks protocol over a thin substrate over
+//! GM). Each layer calls only downward, through `pub(super)` seams:
+//!
+//! * `shmem` — the application-facing shared-memory API: regions,
+//!   `read_bytes`/`write_bytes`, the typed accessors. Calls into
+//!   coherence for fault transitions.
+//! * `sync` — distributed locks (manager forwarding, token migration)
+//!   and the centralized barrier. Calls into coherence for interval
+//!   flush/apply and into rpc to move messages.
+//! * `coherence` — lazy release consistency proper: the page table,
+//!   twins, diff fetch/apply, interval records, write notices, epoch GC.
+//!   Calls into rpc to fetch pages and diffs.
+//! * `rpc` — request/response plumbing: rid allocation, the blocking
+//!   `rpc` discipline (serve-while-waiting), retransmission timers, the
+//!   `(from, rid)` replay cache, the `serve` dispatcher, shutdown linger.
+//!   Talks only to the [`Substrate`].
+//!
+//! This module holds what the layers share: the [`Tmk`] struct itself,
+//! its configuration, and the [`TmkEvent`] observability seam.
+
+use tm_sim::{Ns, SharedClock, SimParams};
+
+use crate::interval::IntervalLog;
+use crate::page::{Page, PageId};
+use crate::substrate::Substrate;
+use crate::vc::VectorClock;
+
+macro_rules! trace {
+    ($self:expr, $($arg:tt)*) => {
+        if std::env::var_os("TMK_TRACE").is_some() {
+            eprintln!("[n{} t{}] {}", $self.me, $self.clock().borrow().now(), format!($($arg)*));
+        }
+    };
+}
+
+mod coherence;
+mod rpc;
+mod shmem;
+mod sync;
+
+use rpc::ReplayCache;
+use shmem::RegionInfo;
+use sync::{BarrierEpisode, LockState};
+
+/// Handle to a shared allocation (returned by [`Tmk::malloc`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedId(pub usize);
+
+/// Runtime tunables.
+#[derive(Debug, Clone)]
+pub struct TmkConfig {
+    /// Diffs retained per page before GC falls back to full-page serves.
+    pub diff_keep: usize,
+    /// Which node runs barriers.
+    pub barrier_manager: u16,
+}
+
+impl Default for TmkConfig {
+    fn default() -> Self {
+        TmkConfig {
+            diff_keep: 256,
+            barrier_manager: 0,
+        }
+    }
+}
+
+/// Layer-boundary events, emitted at the same points the protocol
+/// counters in [`tm_sim::stats::NodeStats`] tick. The hook is the seam an
+/// observability layer (per-layer metrics, tracing) plugs into without
+/// touching protocol code; emission is free when no hook is installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmkEvent {
+    /// The rpc layer dispatched one incoming request to a handler.
+    RequestServed { from: usize, rid: u32 },
+    /// The coherence layer adopted a full page copy from a peer.
+    PageFetched { page: PageId },
+    /// The coherence layer applied `count` diffs to a page.
+    DiffApplied { page: PageId, count: u64 },
+    /// The sync layer handed a lock token to `to`.
+    LockGranted { lock: u32, to: u16 },
+    /// This node departed barrier `id`.
+    BarrierCrossed { id: u32 },
+    /// The rpc layer's retransmission timer fired (attempt number is
+    /// 1-based).
+    RetransmitFired { rid: u32, attempt: u32 },
+}
+
+/// Installed observer for [`TmkEvent`]s.
+type EventHook = Box<dyn FnMut(&TmkEvent)>;
+
+/// The per-node DSM runtime.
+pub struct Tmk<S: Substrate> {
+    // rpc layer --------------------------------------------------------
+    sub: S,
+    next_rid: u32,
+    /// Responder-side duplicate suppression (lossy transports only; stays
+    /// empty — and cost-free — on reliable ones).
+    replay: ReplayCache,
+    /// Key of the request currently being dispatched, for filing its
+    /// replay-cache entry at the response site. `None` on reliable
+    /// transports.
+    serving: Option<(usize, u32)>,
+    // coherence layer --------------------------------------------------
+    vc: VectorClock,
+    log: IntervalLog,
+    pages: Vec<Page>,
+    /// Pages twinned in the current (open) interval.
+    dirty: Vec<PageId>,
+    last_barrier_vc: VectorClock,
+    // sync layer -------------------------------------------------------
+    locks: Vec<LockState>,
+    barrier: BarrierEpisode,
+    // shmem layer ------------------------------------------------------
+    /// Pages handed out by collective `malloc`s so far (the page table in
+    /// `pages` may extend further: peers can race ahead of our own malloc
+    /// and fault pages we haven't formally allocated yet — the layout is
+    /// deterministic, so we materialize them on demand).
+    allocated_pages: usize,
+    regions: Vec<RegionInfo>,
+    // cross-layer ------------------------------------------------------
+    me: u16,
+    n: usize,
+    cfg: TmkConfig,
+    page_size: usize,
+    event_hook: Option<EventHook>,
+}
+
+impl<S: Substrate> Tmk<S> {
+    pub fn new(sub: S, cfg: TmkConfig) -> Self {
+        let n = sub.nprocs();
+        let me = sub.my_id() as u16;
+        let page_size = sub.params().dsm.page_size;
+        Tmk {
+            sub,
+            me,
+            n,
+            vc: VectorClock::new(n),
+            log: IntervalLog::new(n),
+            pages: Vec::new(),
+            allocated_pages: 0,
+            regions: Vec::new(),
+            dirty: Vec::new(),
+            locks: Vec::new(),
+            barrier: BarrierEpisode::new(n),
+            last_barrier_vc: VectorClock::new(n),
+            next_rid: 1,
+            cfg,
+            page_size,
+            replay: ReplayCache::new(),
+            serving: None,
+            event_hook: None,
+        }
+    }
+
+    pub fn proc_id(&self) -> usize {
+        self.me as usize
+    }
+
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    pub fn clock(&self) -> &SharedClock {
+        self.sub.clock()
+    }
+
+    pub fn params(&self) -> &std::sync::Arc<SimParams> {
+        self.sub.params()
+    }
+
+    /// Charge `units` of application computation (interruptible).
+    pub fn compute(&mut self, units: u64) {
+        let cost = self.sub.params().work(units);
+        self.clock().borrow_mut().compute(cost);
+    }
+
+    /// Charge an explicit computation duration (interruptible).
+    pub fn compute_ns(&mut self, d: Ns) {
+        self.clock().borrow_mut().compute(d);
+    }
+
+    /// Install an observer for layer-boundary [`TmkEvent`]s, replacing any
+    /// previous one. The hook runs synchronously inside protocol code and
+    /// must not call back into the runtime; it charges no virtual time.
+    pub fn set_event_hook(&mut self, hook: impl FnMut(&TmkEvent) + 'static) {
+        self.event_hook = Some(Box::new(hook));
+    }
+
+    /// Remove the installed event hook, if any.
+    pub fn clear_event_hook(&mut self) {
+        self.event_hook = None;
+    }
+
+    /// Emit one layer-boundary event to the installed hook (no-op — one
+    /// branch — without one).
+    fn emit(&mut self, ev: TmkEvent) {
+        if let Some(h) = self.event_hook.as_mut() {
+            h(&ev);
+        }
+    }
+
+    /// Introspection: current vector time.
+    pub fn vector_time(&self) -> &VectorClock {
+        &self.vc
+    }
+}

@@ -1,0 +1,492 @@
+//! Request/response plumbing: the bottom layer of the runtime.
+//!
+//! Owns rid allocation, the blocking `rpc` discipline (serve peers'
+//! requests while waiting for our response — the TreadMarks SIGIO
+//! discipline), DSM-level reliability on lossy transports (virtual-time
+//! retransmission timer with exponential backoff, the bounded
+//! `(from, rid)` [`ReplayCache`], stale-response discard), the `serve`
+//! dispatcher that fans incoming requests out to the coherence and sync
+//! layers, and the shutdown linger. This layer talks only to the
+//! [`Substrate`]; it never inspects protocol payloads beyond the
+//! request/response envelope.
+
+use std::collections::VecDeque;
+
+use tm_sim::Ns;
+
+use super::{Tmk, TmkEvent};
+use crate::protocol::{Request, Response};
+use crate::substrate::{Chan, Substrate};
+use crate::wire::{pool, WireWriter};
+
+/// What to do when a duplicate of an already-seen request arrives
+/// (lossy transports retransmit; handlers must stay idempotent).
+#[derive(Debug, Clone)]
+pub(super) enum ReplayAction {
+    /// The original is still queued (lock wait, barrier wait): swallow
+    /// duplicates; the eventual grant/release goes out through the
+    /// normal path (which upgrades this entry to `Respond`).
+    Pending,
+    /// We already responded with these bytes: re-send them (the original
+    /// response may have been the loss that triggered the retransmit).
+    Respond { to: usize, bytes: Vec<u8> },
+    /// We forwarded the request (lock manager → owner): re-forward the
+    /// identical bytes — same forwarded rid, so dedup chains compose.
+    Forward { to: usize, bytes: Vec<u8> },
+}
+
+/// Bounded responder-side replay cache entry, keyed on `(from, rid)`.
+#[derive(Debug)]
+struct ReplayEntry {
+    from: usize,
+    rid: u32,
+    action: ReplayAction,
+}
+
+/// Replay-cache depth. With one outstanding request per peer plus
+/// forwards, live duplicates are always much younger than this.
+const REPLAY_CACHE_CAP: usize = 128;
+
+/// Bounded responder-side duplicate suppression, keyed on `(from, rid)`.
+/// FIFO eviction; `remember` upgrades in place so a queued request's
+/// entry follows it from [`ReplayAction::Pending`] to the terminal
+/// action taken when it is finally answered.
+#[derive(Debug, Default)]
+pub(super) struct ReplayCache {
+    entries: VecDeque<ReplayEntry>,
+}
+
+impl ReplayCache {
+    pub(super) fn new() -> Self {
+        ReplayCache {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// The recorded action for `(from, rid)`, if the request was seen.
+    pub(super) fn lookup(&self, from: usize, rid: u32) -> Option<&ReplayAction> {
+        self.entries
+            .iter()
+            .find(|e| e.from == from && e.rid == rid)
+            .map(|e| &e.action)
+    }
+
+    /// Record (or upgrade in place) the action taken for `(from, rid)`,
+    /// evicting the oldest entry at capacity.
+    pub(super) fn remember(&mut self, from: usize, rid: u32, action: ReplayAction) {
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.from == from && e.rid == rid)
+        {
+            e.action = action;
+            return;
+        }
+        if self.entries.len() >= REPLAY_CACHE_CAP {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(ReplayEntry { from, rid, action });
+    }
+
+    #[cfg(test)]
+    pub(super) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<S: Substrate> Tmk<S> {
+    /// Allocate the next request id (monotonic per node).
+    pub(super) fn rid(&mut self) -> u32 {
+        let r = self.next_rid;
+        self.next_rid += 1;
+        r
+    }
+
+    /// Service one incoming request. `arrival` drives the interrupt
+    /// preemption model.
+    pub(super) fn serve(&mut self, from: usize, data: &[u8], arrival: Ns) {
+        let Some((rid, req)) = Request::decode(data) else {
+            // Undecodable frame (possible on lossy wires): discard, count.
+            self.clock().borrow_mut().stats.malformed_dropped += 1;
+            return;
+        };
+        trace!(self, "serve from={from} rid={rid} req={req:?}");
+        if self.sub.retransmit_timeout().is_some() {
+            if self.replay.lookup(from, rid).is_some() {
+                // A retransmission of a request we already handled (or
+                // still hold queued): replay the recorded action instead
+                // of re-running the (state-mutating) handler.
+                self.replay_duplicate(from, rid, arrival);
+                return;
+            }
+            self.serving = Some((from, rid));
+        }
+        let cost = self.sub.params().dsm.handler_dispatch;
+        match req {
+            Request::Diff { page, lo, hi } => {
+                self.ensure_pages(page as usize + 1);
+                // Encode straight into a pooled frame: the diffs are
+                // serialized from the page's retained list by reference,
+                // never materialized as an owned Response.
+                let mut w = WireWriter::pooled(256);
+                let c = self.encode_diff_response(rid, page, lo, hi, &mut w);
+                self.respond_wire(from, w, arrival, cost + c);
+            }
+            Request::Page { page } => {
+                self.ensure_pages(page as usize + 1);
+                let mut w = WireWriter::pooled(self.page_size + 32);
+                let c = self.encode_full_page(rid, page, &mut w);
+                self.respond_wire(from, w, arrival, cost + c);
+            }
+            Request::Acquire { lock, vc } => self.serve_acquire(from, rid, lock, vc, arrival, cost),
+            Request::AcquireFwd {
+                lock,
+                requester,
+                rid: orig_rid,
+                vc,
+            } => self.serve_acquire_fwd(from, rid, lock, requester, orig_rid, vc, arrival, cost),
+            Request::BarrierArrive {
+                barrier,
+                vc,
+                records,
+            } => self.serve_barrier_arrive(from, rid, barrier, vc, records, arrival, cost),
+        }
+        self.emit(TmkEvent::RequestServed { from, rid });
+        // Handlers that responded already cleared this via the remember
+        // hooks; anything left would mis-attribute a later response.
+        self.serving = None;
+    }
+
+    // ----- duplicate-request suppression ------------------------------------
+
+    /// If the request being served hasn't recorded an action yet, park it
+    /// in the replay cache as pending (response comes later — queued lock
+    /// grant, barrier release). A retransmission arriving meanwhile is
+    /// then recognized and suppressed instead of re-queued.
+    pub(super) fn note_pending(&mut self) {
+        if let Some((f, r)) = self.serving.take() {
+            self.replay.remember(f, r, ReplayAction::Pending);
+        }
+    }
+
+    /// A retransmitted request matched the replay cache: re-emit the
+    /// recorded effect without re-running the handler. Pending entries
+    /// (response still owed) are swallowed — the eventual grant/release
+    /// answers the original rid.
+    fn replay_duplicate(&mut self, from: usize, rid: u32, arrival: Ns) {
+        self.clock().borrow_mut().stats.dup_requests_suppressed += 1;
+        let cost = self.sub.params().dsm.handler_dispatch;
+        let action = self.replay.lookup(from, rid).expect("caller checked").clone();
+        match action {
+            ReplayAction::Pending => {
+                self.charge_service(arrival, cost);
+            }
+            ReplayAction::Respond { to, bytes } => {
+                let total = cost + self.sub.response_cost(bytes.len());
+                let finish = self.charge_service(arrival, total);
+                self.sub.send_response_at(to, &bytes, finish);
+            }
+            ReplayAction::Forward { to, bytes } => {
+                let total = cost + self.sub.response_cost(bytes.len());
+                let finish = self.charge_service(arrival, total);
+                self.sub.send_request_at(to, &bytes, finish);
+            }
+        }
+    }
+
+    // ----- response emission ------------------------------------------------
+
+    /// Charge the service window for a request with no (immediate)
+    /// response; returns the service completion time.
+    pub(super) fn charge_service(&mut self, arrival: Ns, cost: Ns) -> Ns {
+        let scheme = self.sub.scheme();
+        self.clock()
+            .borrow_mut()
+            .service_window(arrival, &scheme, cost)
+    }
+
+    /// Charge the service window and emit the response at its completion.
+    pub(super) fn respond(&mut self, to: usize, rid: u32, resp: Response, arrival: Ns, cost: Ns) {
+        let mut w = WireWriter::pooled(128);
+        resp.encode_into(rid, &mut w);
+        self.respond_wire(to, w, arrival, cost);
+    }
+
+    /// Emit an already-encoded response at service completion, returning
+    /// the frame buffer to the pool after the substrate copies it out.
+    pub(super) fn respond_wire(&mut self, to: usize, w: WireWriter, arrival: Ns, mut cost: Ns) {
+        cost += self.sub.response_cost(w.len());
+        let finish = self.charge_service(arrival, cost);
+        self.sub.send_response_at(to, w.as_slice(), finish);
+        if let Some((from, rid)) = self.serving.take() {
+            let bytes = w.as_slice().to_vec();
+            self.replay
+                .remember(from, rid, ReplayAction::Respond { to, bytes });
+        }
+        w.recycle();
+    }
+
+    /// Forward an encoded request on behalf of the one being served (lock
+    /// manager → owner), recording the forward for replay.
+    pub(super) fn forward_wire(&mut self, to: usize, w: WireWriter, arrival: Ns, mut cost: Ns) {
+        cost += self.sub.response_cost(w.len());
+        let finish = self.charge_service(arrival, cost);
+        self.sub.send_request_at(to, w.as_slice(), finish);
+        if let Some((f, r)) = self.serving.take() {
+            let bytes = w.as_slice().to_vec();
+            self.replay
+                .remember(f, r, ReplayAction::Forward { to, bytes });
+        }
+        w.recycle();
+    }
+
+    /// Record the out-of-band response sent for request `(via)` — a queued
+    /// grant or barrier release that goes out long after its serve window.
+    /// The bytes are only copied on lossy transports; reliable ones pay
+    /// nothing here.
+    pub(super) fn remember_response(&mut self, via: (usize, u32), to: usize, bytes: &[u8]) {
+        if self.sub.retransmit_timeout().is_some() {
+            let bytes = bytes.to_vec();
+            self.replay
+                .remember(via.0, via.1, ReplayAction::Respond { to, bytes });
+        }
+    }
+
+    // ----- synchronous RPC --------------------------------------------------
+
+    /// Send a request and block for its response, servicing peers'
+    /// requests while waiting (the TreadMarks SIGIO discipline).
+    pub(super) fn rpc(&mut self, to: usize, req: Request) -> Response {
+        let rid = self.rid();
+        trace!(self, "rpc to={to} rid={rid} req={req:?}");
+        let mut w = WireWriter::pooled(64);
+        req.encode_into(rid, &mut w);
+        self.rpc_encoded(to, rid, w)
+    }
+
+    /// The rpc body proper, for callers that pre-chose the rid (acquire's
+    /// manager-forwarding path). Consumes and recycles the frame.
+    ///
+    /// Reliable transports (`retransmit_timeout() == None`) use the plain
+    /// send-once loop. Lossy ones get DSM-level reliability: a virtual-time
+    /// retransmission timer with exponential backoff, resending under the
+    /// *same* rid (the responder's replay cache makes duplicates
+    /// idempotent), plus stale-response and tombstone handling.
+    pub(super) fn rpc_encoded(&mut self, to: usize, rid: u32, w: WireWriter) -> Response {
+        let Some(rto0) = self.sub.retransmit_timeout() else {
+            self.sub.send_request(to, w.as_slice());
+            w.recycle();
+            self.clock().borrow_mut().begin_wait();
+            loop {
+                let msg = self.sub.next_incoming();
+                match msg.chan {
+                    Chan::Response => {
+                        let (got_rid, resp) =
+                            Response::decode(&msg.data).expect("malformed response");
+                        assert_eq!(
+                            got_rid, rid,
+                            "node {}: response correlation mismatch",
+                            self.me
+                        );
+                        pool::give(msg.data);
+                        return resp;
+                    }
+                    Chan::Request => {
+                        self.serve(msg.from, &msg.data, msg.arrival);
+                        pool::give(msg.data);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                }
+            }
+        };
+        let cap = self.sub.params().udp.rto_retries;
+        let mut rto = rto0;
+        let mut attempts = 0u32;
+        // `sent == false`: the transport knows the datagram was dropped on
+        // the way out — skip the futile wait and retransmit at the deadline.
+        let mut sent = self.sub.send_request(to, w.as_slice());
+        self.clock().borrow_mut().begin_wait();
+        let mut deadline = self.clock().borrow().now() + rto;
+        macro_rules! retransmit {
+            () => {{
+                attempts += 1;
+                assert!(
+                    attempts <= cap,
+                    "node {}: rid {rid} to {to}: gave up after {cap} retransmissions",
+                    self.me
+                );
+                self.clock().borrow_mut().stats.retransmits += 1;
+                self.emit(TmkEvent::RetransmitFired { rid, attempt: attempts });
+                rto = rto * 2;
+                sent = self.sub.send_request(to, w.as_slice());
+                self.clock().borrow_mut().begin_wait();
+                deadline = self.clock().borrow().now() + rto;
+            }};
+        }
+        loop {
+            if !sent {
+                self.clock().borrow_mut().wait_until(deadline);
+                retransmit!();
+                continue;
+            }
+            match self.sub.next_incoming_until(deadline) {
+                None => retransmit!(),
+                Some(msg) if msg.lost => {
+                    if msg.chan == Chan::Response {
+                        // Our (likely) response died in flight: no point
+                        // sitting out the rest of the timer.
+                        retransmit!();
+                    } else {
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                }
+                Some(msg) => match msg.chan {
+                    Chan::Response => {
+                        let Some((got_rid, resp)) = Response::decode(&msg.data) else {
+                            self.clock().borrow_mut().stats.malformed_dropped += 1;
+                            pool::give(msg.data);
+                            self.clock().borrow_mut().begin_wait();
+                            continue;
+                        };
+                        if got_rid == rid {
+                            pool::give(msg.data);
+                            w.recycle();
+                            return resp;
+                        }
+                        assert!(
+                            got_rid < rid,
+                            "node {}: response from the future (rid {got_rid} > {rid})",
+                            self.me
+                        );
+                        // Duplicate answer to an rpc we already completed
+                        // (a retransmission crossed its response).
+                        self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+                        pool::give(msg.data);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                    Chan::Request => {
+                        self.serve(msg.from, &msg.data, msg.arrival);
+                        pool::give(msg.data);
+                        self.clock().borrow_mut().begin_wait();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Service any requests that have already arrived (called at natural
+    /// application boundaries; with interrupts the service window still
+    /// starts at the request's arrival, preempting retroactively).
+    pub fn poll_serve(&mut self) {
+        while let Some(msg) = self.sub.poll_request() {
+            self.serve(msg.from, &msg.data, msg.arrival);
+            pool::give(msg.data);
+        }
+    }
+
+    /// Lossy-transport shutdown linger: keep answering retransmitted
+    /// requests from the replay cache until every peer's NIC has left the
+    /// fabric (a client whose final release was lost depends on it).
+    pub(super) fn shutdown_linger(&mut self) {
+        loop {
+            match self.sub.shutdown_poll() {
+                crate::substrate::ShutdownPoll::Done => break,
+                crate::substrate::ShutdownPoll::Quiet => {}
+                crate::substrate::ShutdownPoll::Msg(msg) => {
+                    if !msg.lost && msg.chan == Chan::Request {
+                        self.serve(msg.from, &msg.data, msg.arrival);
+                    } else if !msg.lost && msg.chan == Chan::Response {
+                        self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+                    }
+                    pool::give(msg.data);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn respond(to: usize, b: &[u8]) -> ReplayAction {
+        ReplayAction::Respond {
+            to,
+            bytes: b.to_vec(),
+        }
+    }
+
+    #[test]
+    fn remember_then_lookup() {
+        let mut c = ReplayCache::new();
+        assert!(c.lookup(3, 7).is_none());
+        c.remember(3, 7, ReplayAction::Pending);
+        assert!(matches!(c.lookup(3, 7), Some(ReplayAction::Pending)));
+        // Same rid from a different node is a different request.
+        assert!(c.lookup(4, 7).is_none());
+    }
+
+    #[test]
+    fn upgrade_in_place_pending_to_respond() {
+        // A queued lock acquire is Pending until the grant goes out; the
+        // upgrade must replace the entry, not shadow it with a second one.
+        let mut c = ReplayCache::new();
+        c.remember(2, 11, ReplayAction::Pending);
+        c.remember(2, 11, respond(2, b"grant"));
+        assert_eq!(c.len(), 1);
+        match c.lookup(2, 11) {
+            Some(ReplayAction::Respond { to, bytes }) => {
+                assert_eq!(*to, 2);
+                assert_eq!(bytes, b"grant");
+            }
+            other => panic!("expected Respond, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = ReplayCache::new();
+        for rid in 0..REPLAY_CACHE_CAP as u32 {
+            c.remember(1, rid, ReplayAction::Pending);
+        }
+        assert_eq!(c.len(), REPLAY_CACHE_CAP);
+        assert!(c.lookup(1, 0).is_some());
+        // One more evicts the oldest, and only the oldest.
+        c.remember(1, REPLAY_CACHE_CAP as u32, ReplayAction::Pending);
+        assert_eq!(c.len(), REPLAY_CACHE_CAP);
+        assert!(c.lookup(1, 0).is_none());
+        assert!(c.lookup(1, 1).is_some());
+        assert!(c.lookup(1, REPLAY_CACHE_CAP as u32).is_some());
+    }
+
+    #[test]
+    fn upgrade_does_not_evict() {
+        // In-place upgrades at capacity must not push anything out.
+        let mut c = ReplayCache::new();
+        for rid in 0..REPLAY_CACHE_CAP as u32 {
+            c.remember(1, rid, ReplayAction::Pending);
+        }
+        c.remember(1, 5, respond(1, b"late-grant"));
+        assert_eq!(c.len(), REPLAY_CACHE_CAP);
+        assert!(c.lookup(1, 0).is_some(), "oldest entry evicted by upgrade");
+    }
+
+    #[test]
+    fn forwarded_grant_keyed_on_forward_identity() {
+        // A forwarded acquire reaches the owner as (manager, fwd_rid); the
+        // grant is recorded under that key so the *manager's* retransmitted
+        // forward replays it — the original requester never retransmits to
+        // the owner directly.
+        let mut c = ReplayCache::new();
+        let (manager, fwd_rid) = (0usize, 42u32);
+        let requester = 2usize;
+        c.remember(manager, fwd_rid, ReplayAction::Pending);
+        c.remember(manager, fwd_rid, respond(requester, b"grant-bytes"));
+        match c.lookup(manager, fwd_rid) {
+            Some(ReplayAction::Respond { to, .. }) => assert_eq!(*to, requester),
+            other => panic!("expected Respond to requester, got {other:?}"),
+        }
+        // The requester's own (requester, rid) key is untouched.
+        assert!(c.lookup(requester, fwd_rid).is_none());
+    }
+}

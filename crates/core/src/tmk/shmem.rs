@@ -1,0 +1,198 @@
+//! The application-facing shared-memory layer.
+//!
+//! Owns region bookkeeping (`malloc`/`distribute`), the byte accessors
+//! `read_bytes`/`write_bytes` that stand in for direct loads and stores,
+//! and the typed `get_*`/`set_*`/`read_f*`/`write_f*` helpers built on
+//! them. Every access walks the touched pages and calls down into the
+//! coherence layer for the fault transitions an mprotect implementation
+//! would take, charging the modeled fault costs.
+
+use crate::page::{Access, PageId};
+use crate::substrate::Substrate;
+
+use super::{SharedId, Tmk};
+
+pub(super) struct RegionInfo {
+    pub(super) start_page: usize,
+    pub(super) len: usize,
+}
+
+impl<S: Substrate> Tmk<S> {
+    // ----- allocation ----------------------------------------------------
+
+    /// Collective: every node must call with the same sizes in the same
+    /// order (this is how TreadMarks programs use `Tmk_malloc` before
+    /// `Tmk_distribute`). Page managers are assigned round-robin across
+    /// the processors (as in TreadMarks); each page starts resident
+    /// (zeroed) on its manager and unmapped elsewhere.
+    pub fn malloc(&mut self, len: usize) -> SharedId {
+        assert!(len > 0, "zero-length shared allocation");
+        let npages = len.div_ceil(self.page_size);
+        let start_page = self.allocated_pages;
+        self.allocated_pages += npages;
+        self.ensure_pages(start_page + npages);
+        self.regions.push(RegionInfo { start_page, len });
+        SharedId(self.regions.len() - 1)
+    }
+
+    /// `Tmk_distribute`: in TreadMarks this broadcasts the shared pointer
+    /// so the other processes can address the allocation. Under the
+    /// simulator the collective `malloc` is deterministic — every node
+    /// derives the same region table — so there is no pointer to ship and
+    /// no message or virtual time is charged. The call remains in the API
+    /// for program fidelity and validates that the handle names a region
+    /// this node actually allocated (the error `Tmk_distribute` would
+    /// surface).
+    pub fn distribute(&mut self, id: SharedId) {
+        assert!(
+            id.0 < self.regions.len(),
+            "node {}: distribute of unallocated region {}",
+            self.me,
+            id.0
+        );
+    }
+
+    /// Bytes in a region.
+    pub fn region_len(&self, id: SharedId) -> usize {
+        self.regions[id.0].len
+    }
+
+    fn page_of(&self, id: SharedId, off: usize) -> PageId {
+        let r = &self.regions[id.0];
+        assert!(off < r.len, "offset {off} outside region of {} bytes", r.len);
+        (r.start_page + off / self.page_size) as PageId
+    }
+
+    // ----- data access ----------------------------------------------------
+
+    /// Read `out.len()` bytes from `(region, off)`.
+    pub fn read_bytes(&mut self, id: SharedId, off: usize, out: &mut [u8]) {
+        if out.is_empty() {
+            return;
+        }
+        let r = &self.regions[id.0];
+        assert!(off + out.len() <= r.len, "read beyond region");
+        let start_page = r.start_page;
+        let mut done = 0;
+        while done < out.len() {
+            let abs = off + done;
+            let pid = (start_page + abs / self.page_size) as PageId;
+            self.ensure_readable(pid);
+            let in_page = abs % self.page_size;
+            let take = (self.page_size - in_page).min(out.len() - done);
+            let page = &self.pages[pid as usize];
+            out[done..done + take].copy_from_slice(&page.data[in_page..in_page + take]);
+            done += take;
+        }
+    }
+
+    /// Write `src` to `(region, off)`.
+    pub fn write_bytes(&mut self, id: SharedId, off: usize, src: &[u8]) {
+        if src.is_empty() {
+            return;
+        }
+        let r = &self.regions[id.0];
+        assert!(off + src.len() <= r.len, "write beyond region");
+        let start_page = r.start_page;
+        let mut done = 0;
+        while done < src.len() {
+            let abs = off + done;
+            let pid = (start_page + abs / self.page_size) as PageId;
+            let in_page = abs % self.page_size;
+            let take = (self.page_size - in_page).min(src.len() - done);
+            if in_page == 0 && take == self.page_size {
+                // Whole-page overwrite: no need to fetch content we are
+                // about to replace (first-touch writes of fresh arrays
+                // would otherwise ship pages of zeroes across the wire).
+                self.ensure_writable_overwrite(pid);
+            } else {
+                self.ensure_writable(pid);
+            }
+            let page = &mut self.pages[pid as usize];
+            page.data[in_page..in_page + take].copy_from_slice(&src[done..done + take]);
+            done += take;
+        }
+    }
+
+    // Typed helpers ------------------------------------------------------
+
+    pub fn get_u32(&mut self, id: SharedId, idx: usize) -> u32 {
+        let mut b = [0u8; 4];
+        self.read_bytes(id, idx * 4, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    pub fn set_u32(&mut self, id: SharedId, idx: usize, v: u32) {
+        self.write_bytes(id, idx * 4, &v.to_le_bytes());
+    }
+
+    pub fn get_i32(&mut self, id: SharedId, idx: usize) -> i32 {
+        self.get_u32(id, idx) as i32
+    }
+
+    pub fn set_i32(&mut self, id: SharedId, idx: usize, v: i32) {
+        self.set_u32(id, idx, v as u32);
+    }
+
+    pub fn get_f32(&mut self, id: SharedId, idx: usize) -> f32 {
+        f32::from_bits(self.get_u32(id, idx))
+    }
+
+    pub fn set_f32(&mut self, id: SharedId, idx: usize, v: f32) {
+        self.set_u32(id, idx, v.to_bits());
+    }
+
+    pub fn get_f64(&mut self, id: SharedId, idx: usize) -> f64 {
+        let mut b = [0u8; 8];
+        self.read_bytes(id, idx * 8, &mut b);
+        f64::from_le_bytes(b)
+    }
+
+    pub fn set_f64(&mut self, id: SharedId, idx: usize, v: f64) {
+        self.write_bytes(id, idx * 8, &v.to_le_bytes());
+    }
+
+    /// Bulk f32 read starting at element `idx`.
+    pub fn read_f32s(&mut self, id: SharedId, idx: usize, out: &mut [f32]) {
+        let mut bytes = vec![0u8; out.len() * 4];
+        self.read_bytes(id, idx * 4, &mut bytes);
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+
+    /// Bulk f32 write starting at element `idx`.
+    pub fn write_f32s(&mut self, id: SharedId, idx: usize, src: &[f32]) {
+        let mut bytes = Vec::with_capacity(src.len() * 4);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(id, idx * 4, &bytes);
+    }
+
+    /// Bulk f64 read starting at element `idx`.
+    pub fn read_f64s(&mut self, id: SharedId, idx: usize, out: &mut [f64]) {
+        let mut bytes = vec![0u8; out.len() * 8];
+        self.read_bytes(id, idx * 8, &mut bytes);
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(chunk);
+            out[i] = f64::from_le_bytes(b);
+        }
+    }
+
+    /// Bulk f64 write starting at element `idx`.
+    pub fn write_f64s(&mut self, id: SharedId, idx: usize, src: &[f64]) {
+        let mut bytes = Vec::with_capacity(src.len() * 8);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_bytes(id, idx * 8, &bytes);
+    }
+
+    /// Introspection for tests: the page state of `(region, off)`.
+    pub fn page_state(&self, id: SharedId, off: usize) -> Access {
+        let pid = self.page_of(id, off);
+        self.pages[pid as usize].state
+    }
+}

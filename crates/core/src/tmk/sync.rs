@@ -1,0 +1,444 @@
+//! Synchronization: distributed locks and the centralized barrier.
+//!
+//! Locks have statically assigned managers (`lock % nprocs`) and a
+//! migrating token: the manager forwards an acquire to its owner hint,
+//! the owner grants at release, and direct (manager-owned) vs. indirect
+//! (third-node) acquisition are exactly the two cases of the paper's
+//! Lock microbenchmark. Barriers are centralized at
+//! [`TmkConfig::barrier_manager`](super::TmkConfig): arrivals carry fresh
+//! interval records; the release broadcasts the union.
+//!
+//! This layer calls down into coherence (flush/apply intervals at every
+//! synchronization point, epoch GC after barriers) and rpc (moving
+//! grants, arrivals and releases; recording out-of-band responses in the
+//! replay cache).
+
+use std::collections::VecDeque;
+
+use tm_sim::Ns;
+
+use super::{Tmk, TmkEvent};
+use crate::interval::IntervalRecord;
+use crate::protocol::{Request, Response};
+use crate::substrate::{Chan, Substrate};
+use crate::vc::VectorClock;
+use crate::wire::{pool, WireWriter};
+
+pub(super) struct LockState {
+    /// Manager's record of who holds (or will next hold) the token.
+    owner_hint: u16,
+    have_token: bool,
+    busy: bool,
+    /// Requests waiting for our release: (requester, rid, their vc,
+    /// arrival key). The arrival key is the `(from, rid)` the request
+    /// last reached us under — identical to `(requester, rid)` for a
+    /// direct acquire, but the forwarding manager's `(manager, fwd_rid)`
+    /// for a forwarded one. Replay-cache upgrades go through it so a
+    /// retransmitted forward finds the grant we eventually sent.
+    waiting: VecDeque<(u16, u32, VectorClock, (usize, u32))>,
+}
+
+pub(super) struct BarrierEpisode {
+    arrived: Vec<bool>,
+    /// Client rid + vector time at arrival, per node.
+    clients: Vec<Option<(u32, VectorClock)>>,
+    count: usize,
+    /// Barrier id of this episode — mismatched ids are a program error
+    /// (different nodes waiting at different barriers) and panic loudly
+    /// instead of deadlocking.
+    id: Option<u32>,
+    /// Records collected from arrivals, noticed at departure (the manager
+    /// must not invalidate its own pages before it reaches the barrier).
+    records: Vec<IntervalRecord>,
+}
+
+impl BarrierEpisode {
+    pub(super) fn new(n: usize) -> Self {
+        BarrierEpisode {
+            arrived: vec![false; n],
+            clients: vec![None; n],
+            count: 0,
+            id: None,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl<S: Substrate> Tmk<S> {
+    fn lock_manager(&self, lock: u32) -> u16 {
+        (lock as usize % self.n) as u16
+    }
+
+    fn ensure_lock(&mut self, lock: u32) {
+        while self.locks.len() <= lock as usize {
+            let id = self.locks.len() as u32;
+            let mgr = self.lock_manager(id);
+            self.locks.push(LockState {
+                owner_hint: mgr,
+                have_token: self.me == mgr,
+                busy: false,
+                waiting: VecDeque::new(),
+            });
+        }
+    }
+
+    // ----- request handlers (dispatched by rpc::serve) ----------------------
+
+    /// An `Acquire` reached us as this lock's manager: grant directly if
+    /// we hold a free token, queue if we hold it busy, else forward to
+    /// the owner hint.
+    pub(super) fn serve_acquire(
+        &mut self,
+        from: usize,
+        rid: u32,
+        lock: u32,
+        vc: VectorClock,
+        arrival: Ns,
+        mut cost: Ns,
+    ) {
+        self.ensure_lock(lock);
+        debug_assert_eq!(self.lock_manager(lock), self.me, "acquire sent to non-manager");
+        let ls = &mut self.locks[lock as usize];
+        if ls.owner_hint == self.me {
+            if ls.have_token && !ls.busy {
+                // Direct grant: manager holds a free token.
+                let (resp, c) = self.make_grant(lock, &vc);
+                cost += c;
+                let ls = &mut self.locks[lock as usize];
+                ls.have_token = false;
+                ls.owner_hint = from as u16;
+                self.respond(from, rid, resp, arrival, cost);
+                self.emit(TmkEvent::LockGranted {
+                    lock,
+                    to: from as u16,
+                });
+            } else {
+                // We hold it busy (or the token is en route to us):
+                // grant at release.
+                ls.waiting.push_back((from as u16, rid, vc, (from, rid)));
+                ls.owner_hint = from as u16;
+                self.charge_service(arrival, cost);
+                self.note_pending();
+            }
+        } else {
+            // Forward to the current owner; requester stays blocked.
+            let owner = ls.owner_hint as usize;
+            ls.owner_hint = from as u16;
+            let fwd = Request::AcquireFwd {
+                lock,
+                requester: from as u16,
+                rid,
+                vc,
+            };
+            let fwd_rid = self.rid();
+            let mut w = WireWriter::pooled(64);
+            fwd.encode_into(fwd_rid, &mut w);
+            self.forward_wire(owner, w, arrival, cost);
+        }
+    }
+
+    /// A forwarded acquire reached us as the token's owner: grant now if
+    /// the token is free, else queue until our release.
+    // The parameter list mirrors the AcquireFwd wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn serve_acquire_fwd(
+        &mut self,
+        from: usize,
+        rid: u32,
+        lock: u32,
+        requester: u16,
+        orig_rid: u32,
+        vc: VectorClock,
+        arrival: Ns,
+        mut cost: Ns,
+    ) {
+        self.ensure_lock(lock);
+        let ls = &mut self.locks[lock as usize];
+        if ls.have_token && !ls.busy {
+            let (resp, c) = self.make_grant(lock, &vc);
+            cost += c;
+            self.locks[lock as usize].have_token = false;
+            self.respond(requester as usize, orig_rid, resp, arrival, cost);
+            self.emit(TmkEvent::LockGranted { lock, to: requester });
+        } else {
+            ls.waiting.push_back((requester, orig_rid, vc, (from, rid)));
+            self.charge_service(arrival, cost);
+            self.note_pending();
+        }
+    }
+
+    /// A client's `BarrierArrive` reached us as the barrier manager.
+    // The parameter list mirrors the BarrierArrive wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn serve_barrier_arrive(
+        &mut self,
+        from: usize,
+        rid: u32,
+        barrier: u32,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+        arrival: Ns,
+        mut cost: Ns,
+    ) {
+        debug_assert_eq!(self.cfg.barrier_manager, self.me);
+        match self.barrier.id {
+            None => self.barrier.id = Some(barrier),
+            Some(b) => assert_eq!(
+                b, barrier,
+                "barrier mismatch: node {from} arrived at {barrier}, episode is {b}"
+            ),
+        }
+        cost += Ns(200 * records.len() as u64);
+        // Stash — the manager must not incorporate arrivals'
+        // intervals (records OR vector time) before its own
+        // departure: doing so would make its interim lock grants
+        // claim coverage of write notices it never forwarded.
+        for rec in records {
+            let stashed = self
+                .barrier
+                .records
+                .iter()
+                .any(|r| r.node == rec.node && r.seq == rec.seq);
+            if !stashed && !self.log.contains(rec.node, rec.seq) {
+                self.barrier.records.push(rec);
+            }
+        }
+        if !self.barrier.arrived[from] {
+            self.barrier.arrived[from] = true;
+            self.barrier.count += 1;
+        }
+        self.barrier.clients[from] = Some((rid, vc));
+        self.charge_service(arrival, cost);
+        self.note_pending();
+    }
+
+    /// Flush our interval and package a grant carrying everything the
+    /// requester's vector time shows it hasn't seen.
+    fn make_grant(&mut self, lock: u32, rvc: &VectorClock) -> (Response, Ns) {
+        let flush_cost = self.flush_interval();
+        let records = self.log.newer_than(rvc);
+        trace!(self, "grant lock={} rvc={:?} records={:?}", lock, rvc, records.iter().map(|r| (r.node, r.seq)).collect::<Vec<_>>());
+        let cost = flush_cost + Ns(200 * records.len() as u64);
+        (
+            Response::Grant {
+                lock,
+                vc: self.vc.clone(),
+                records,
+            },
+            cost,
+        )
+    }
+
+    // ----- synchronization API ----------------------------------------------
+
+    /// `Tmk_lock_acquire`.
+    pub fn acquire(&mut self, lock: u32) {
+        // Service anything pending first: a cached-token fast path must
+        // not starve peers whose acquire was forwarded to us.
+        self.poll_serve();
+        self.ensure_lock(lock);
+        let ls = &self.locks[lock as usize];
+        if ls.have_token && !ls.busy {
+            // Token cached locally: free re-acquire.
+            self.locks[lock as usize].busy = true;
+            self.clock().borrow_mut().advance(Ns(300));
+            return;
+        }
+        assert!(!ls.busy, "node {} re-acquiring lock {lock} it holds", self.me);
+        self.clock().borrow_mut().stats.remote_acquires += 1;
+        let mgr = self.lock_manager(lock) as usize;
+        let resp = if mgr == self.me as usize {
+            // We are the manager but the token is elsewhere: forward
+            // directly to the owner.
+            let owner = self.locks[lock as usize].owner_hint as usize;
+            debug_assert_ne!(owner, self.me as usize);
+            self.locks[lock as usize].owner_hint = self.me;
+            let rid = self.rid();
+            let req = Request::AcquireFwd {
+                lock,
+                requester: self.me,
+                rid,
+                vc: self.vc.clone(),
+            };
+            // Run the rpc with the chosen rid so the grant correlates.
+            let mut w = WireWriter::pooled(64);
+            req.encode_into(rid, &mut w);
+            self.rpc_encoded(owner, rid, w)
+        } else {
+            self.rpc(
+                mgr,
+                Request::Acquire {
+                    lock,
+                    vc: self.vc.clone(),
+                },
+            )
+        };
+        match resp {
+            Response::Grant { lock: l, vc, records } => {
+                assert_eq!(l, lock);
+                let cost = self.apply_records(records);
+                self.vc.join(&vc);
+                self.clock().borrow_mut().advance(cost);
+                let ls = &mut self.locks[lock as usize];
+                ls.have_token = true;
+                ls.busy = true;
+            }
+            other => panic!("expected Grant, got {other:?}"),
+        }
+    }
+
+    /// `Tmk_lock_release`.
+    pub fn release(&mut self, lock: u32) {
+        self.poll_serve();
+        self.ensure_lock(lock);
+        assert!(
+            self.locks[lock as usize].busy,
+            "node {} releasing lock {lock} it doesn't hold",
+            self.me
+        );
+        self.locks[lock as usize].busy = false;
+        self.clock().borrow_mut().advance(Ns(300));
+        self.grant_waiting(lock);
+    }
+
+    /// Hand the token to the next queued requester, if any.
+    fn grant_waiting(&mut self, lock: u32) {
+        let ls = &mut self.locks[lock as usize];
+        if !ls.have_token || ls.busy {
+            return;
+        }
+        let Some((requester, rid, rvc, via)) = ls.waiting.pop_front() else {
+            return;
+        };
+        let (resp, cost) = self.make_grant(lock, &rvc);
+        self.locks[lock as usize].have_token = false;
+        let mut w = WireWriter::pooled(128);
+        resp.encode_into(rid, &mut w);
+        let total = cost + self.sub.response_cost(w.len());
+        self.clock().borrow_mut().advance(total);
+        let now = self.clock().borrow().now();
+        self.sub.send_response_at(requester as usize, w.as_slice(), now);
+        self.remember_response(via, requester as usize, w.as_slice());
+        w.recycle();
+        self.emit(TmkEvent::LockGranted { lock, to: requester });
+    }
+
+    /// `Tmk_barrier`.
+    pub fn barrier(&mut self, id: u32) {
+        trace!(self, "barrier {id} enter");
+        let flush_cost = self.flush_interval();
+        self.clock().borrow_mut().advance(flush_cost);
+        self.clock().borrow_mut().stats.barriers += 1;
+        let mgr = self.cfg.barrier_manager;
+        if self.me == mgr {
+            self.barrier_as_manager(id)
+        } else {
+            let records = self.records_since_epoch();
+            let resp = self.rpc(
+                mgr as usize,
+                Request::BarrierArrive {
+                    barrier: id,
+                    vc: self.vc.clone(),
+                    records,
+                },
+            );
+            match resp {
+                Response::BarrierRelease { vc, records } => {
+                    let cost = self.apply_records(records);
+                    self.vc.join(&vc);
+                    self.clock().borrow_mut().advance(cost);
+                    self.epoch_gc(vc);
+                }
+                other => panic!("expected BarrierRelease, got {other:?}"),
+            }
+        }
+        self.emit(TmkEvent::BarrierCrossed { id });
+    }
+
+    fn barrier_as_manager(&mut self, id: u32) {
+        // Local arrival.
+        match self.barrier.id {
+            None => self.barrier.id = Some(id),
+            Some(b) => assert_eq!(b, id, "manager at barrier {id}, episode is {b}"),
+        }
+        if !self.barrier.arrived[self.me as usize] {
+            self.barrier.arrived[self.me as usize] = true;
+            self.barrier.count += 1;
+        }
+        self.clock().borrow_mut().begin_wait();
+        while self.barrier.count < self.n {
+            let msg = self.sub.next_incoming();
+            if msg.lost {
+                // A peer's arrival (or a stray duplicate) died in flight;
+                // the sender's retransmission timer will re-deliver it.
+                pool::give(msg.data);
+                self.clock().borrow_mut().begin_wait();
+                continue;
+            }
+            match msg.chan {
+                Chan::Request => {
+                    self.serve(msg.from, &msg.data, msg.arrival);
+                    pool::give(msg.data);
+                    self.clock().borrow_mut().begin_wait();
+                }
+                Chan::Response if self.sub.retransmit_timeout().is_some() => {
+                    // A duplicate answer to an rpc we completed before the
+                    // barrier (a retransmission crossed its response).
+                    self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+                    pool::give(msg.data);
+                    self.clock().borrow_mut().begin_wait();
+                }
+                Chan::Response => panic!("manager got a response inside barrier wait"),
+            }
+        }
+        // Everyone is here: departure. Incorporate the arrivals' interval
+        // records and vector times, invalidate, then release the clients.
+        // The stashed records move into apply_records — no clone.
+        let BarrierEpisode {
+            records, clients, ..
+        } = std::mem::replace(&mut self.barrier, BarrierEpisode::new(self.n));
+        let apply_cost = self.apply_records(records);
+        self.clock().borrow_mut().advance(apply_cost);
+        for slot in clients.iter().flatten() {
+            self.vc.join(&slot.1);
+        }
+        let merged = self.vc.clone();
+        for (node, slot) in clients.into_iter().enumerate() {
+            let Some((rid, cvc)) = slot else { continue };
+            let records = self.log.newer_than(&cvc);
+            let resp = Response::BarrierRelease {
+                vc: merged.clone(),
+                records,
+            };
+            let mut w = WireWriter::pooled(128);
+            resp.encode_into(rid, &mut w);
+            let cost = self.sub.response_cost(w.len()) + Ns(500);
+            self.clock().borrow_mut().advance(cost);
+            let now = self.clock().borrow().now();
+            self.sub.send_response_at(node, w.as_slice(), now);
+            // A lost release leaves the client retransmitting its
+            // BarrierArrive; answer the duplicate from the cache.
+            self.remember_response((node, rid), node, w.as_slice());
+            w.recycle();
+        }
+        self.epoch_gc(merged);
+    }
+
+    /// Final synchronization before the node thread returns: a barrier, so
+    /// no peer is left blocked on us.
+    ///
+    /// On a lossy transport the barrier manager additionally lingers: a
+    /// client whose exit release was lost keeps retransmitting its
+    /// `BarrierArrive`, and only the manager's replay cache can answer it.
+    /// The linger ends when every peer's NIC has left the fabric.
+    pub fn exit(&mut self) {
+        self.barrier(u32::MAX);
+        if self.sub.retransmit_timeout().is_some() && self.me == self.cfg.barrier_manager {
+            self.shutdown_linger();
+        }
+    }
+}
+
+#[cfg(test)]
+#[path = "sync_tests.rs"]
+mod tests;

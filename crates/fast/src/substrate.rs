@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 use tm_gm::{gm_size, DmaPool, GmEvent, GmNode, MAX_SIZE_CLASS};
 use tm_sim::faults::checksum32;
 use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
+use tmk::framing::{self, FragHeader, Reassembler};
 use tmk::wire::pool;
 use tmk::{Chan, IncomingMsg, Substrate};
 
@@ -83,16 +84,6 @@ struct PullInProgress {
 }
 
 /// The per-node FAST/GM endpoint.
-/// A partially reassembled fragmented frame.
-struct Partial {
-    src: usize,
-    port: u8,
-    xid: u32,
-    have: u16,
-    chunks: Vec<Option<Vec<u8>>>,
-    last_arrival: Ns,
-}
-
 pub struct FastSubstrate {
     gm: GmNode,
     pool: DmaPool,
@@ -100,7 +91,8 @@ pub struct FastSubstrate {
     next_xfer: u32,
     held: Vec<HeldTransfer>,
     pulls: Vec<PullInProgress>,
-    partials: Vec<Partial>,
+    /// Shared fragment reassembly, demuxed per GM port.
+    partials: Reassembler<u8>,
     /// Registered bytes devoted to preposted receive buffers (E5).
     pub prepost_bytes: usize,
     /// Seeded corruption injector; `Some` only when the fault plan asks
@@ -167,7 +159,7 @@ impl FastSubstrate {
             next_xfer: 1,
             held: Vec::new(),
             pulls: Vec::new(),
-            partials: Vec::new(),
+            partials: Reassembler::new(),
             prepost_bytes,
             corrupt_rng,
         }
@@ -278,21 +270,21 @@ impl FastSubstrate {
             return;
         }
         let chunk = self.frame_limit() - 10; // frag header + slack
-        let total = flen.div_ceil(chunk);
-        assert!(total <= u16::MAX as usize);
+        let plan = framing::plan(flen, chunk);
+        assert!(plan.total <= u16::MAX as usize);
         let xid = self.next_xfer;
         self.next_xfer += 1;
         let mut t = at;
-        for i in 0..total {
+        for (i, range) in plan.ranges().enumerate() {
             // Fragment i carries bytes [lo, hi) of the `[kind] ++ body`
             // stream — identical chunk boundaries to slicing a built frame.
-            let lo = i * chunk;
-            let hi = ((i + 1) * chunk).min(flen);
-            let mut head = [0u8; 9];
-            head[0] = FRAME_FRAG;
-            head[1..5].copy_from_slice(&xid.to_le_bytes());
-            head[5..7].copy_from_slice(&(i as u16).to_le_bytes());
-            head[7..9].copy_from_slice(&(total as u16).to_le_bytes());
+            let (lo, hi) = (range.start, range.end);
+            let head = FragHeader {
+                xid,
+                idx: i as u16,
+                total: plan.total as u16,
+            }
+            .head(FRAME_FRAG);
             if lo == 0 {
                 self.push_frame(to, port, &[&head, &[kind], &body[..hi - 1]], t.is_none(), t);
             } else {
@@ -458,83 +450,35 @@ impl FastSubstrate {
                 })
             }
             FRAME_FRAG => {
-                if body.len() < 8 {
+                let Some((h, frag)) = FragHeader::parse(body) else {
                     return self.malformed();
-                }
-                let xid = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
-                let idx = u16::from_le_bytes(body[4..6].try_into().expect("checked len"));
-                let total = u16::from_le_bytes(body[6..8].try_into().expect("checked len"));
-                if total == 0 || idx >= total {
-                    return self.malformed();
-                }
-                let mut payload = pool::take(body.len() - 8);
-                payload.extend_from_slice(&body[8..]);
-                let slot = match self
-                    .partials
-                    .iter()
-                    .position(|p| p.src == src && p.xid == xid)
-                {
-                    Some(i) => i,
-                    None => {
-                        self.partials.push(Partial {
-                            src,
-                            port,
-                            xid,
-                            have: 0,
-                            chunks: vec![None; total as usize],
-                            last_arrival: arrival,
-                        });
-                        self.partials.len() - 1
-                    }
                 };
-                {
-                    let p = &mut self.partials[slot];
-                    debug_assert_eq!(p.port, port, "fragments crossed ports");
-                    if p.chunks.len() != total as usize {
-                        pool::give(payload);
-                        return self.malformed();
-                    }
-                    if p.chunks[idx as usize].is_none() {
-                        p.chunks[idx as usize] = Some(payload);
-                        p.have += 1;
-                    } else {
-                        pool::give(payload);
-                    }
-                    p.last_arrival = p.last_arrival.max(arrival);
-                }
-                if self.partials[slot].have == total {
-                    let p = self.partials.remove(slot);
-                    // Single-copy reassembly straight into the surfaced
-                    // message: chunk 0's kind byte is checked and skipped
-                    // here, so the runtime payload is never re-copied.
-                    // Only DATA frames are ever fragmented (rendezvous
-                    // control frames are tiny).
-                    let flen: usize = p.chunks.iter().flatten().map(Vec::len).sum();
-                    let mut full = pool::take(flen - 1);
-                    for (i, c) in p.chunks.into_iter().enumerate() {
-                        let c = c.expect("complete");
-                        if i == 0 {
-                            assert_eq!(c[0], FRAME_DATA, "only data frames fragment");
-                            full.extend_from_slice(&c[1..]);
+                let mut payload = pool::take(frag.len());
+                payload.extend_from_slice(frag);
+                match self.partials.insert(src, port, h, payload, arrival) {
+                    framing::Insert::Pending => None,
+                    framing::Insert::Malformed => self.malformed(),
+                    framing::Insert::Complete(frame) => {
+                        // Single-copy reassembly straight into the surfaced
+                        // message: chunk 0's kind byte is checked and
+                        // skipped here, so the runtime payload is never
+                        // re-copied. Only DATA frames are ever fragmented
+                        // (rendezvous control frames are tiny).
+                        assert_eq!(frame.first_byte(), FRAME_DATA, "only data frames fragment");
+                        let chan = if frame.tag == REQ_PORT {
+                            Chan::Request
                         } else {
-                            full.extend_from_slice(&c);
-                        }
-                        pool::give(c);
+                            Chan::Response
+                        };
+                        Some(IncomingMsg {
+                            from: frame.src,
+                            chan,
+                            arrival: frame.arrival,
+                            data: frame.assemble(1),
+                            lost: false,
+                        })
                     }
-                    let chan = if p.port == REQ_PORT {
-                        Chan::Request
-                    } else {
-                        Chan::Response
-                    };
-                    return Some(IncomingMsg {
-                        from: p.src,
-                        chan,
-                        data: full,
-                        arrival: p.last_arrival,
-                        lost: false,
-                    });
                 }
-                None
             }
             _ => self.malformed(),
         }

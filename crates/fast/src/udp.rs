@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
 use tm_udp::UdpStack;
+use tmk::framing::{self, FragHeader, Reassembler};
 use tmk::wire::pool;
 use tmk::{Chan, IncomingMsg, ShutdownPoll, Substrate};
 
@@ -33,20 +34,12 @@ const HANG_GUARD: std::time::Duration = std::time::Duration::from_secs(1);
 /// is the expected steady state (peers exit without a goodbye).
 const LINGER_GUARD: std::time::Duration = std::time::Duration::from_millis(25);
 
-struct Partial {
-    src: usize,
-    sock: u16,
-    xid: u32,
-    have: u16,
-    chunks: Vec<Option<Vec<u8>>>,
-    last_ready: Ns,
-}
-
 /// The per-node UDP/GM endpoint.
 pub struct UdpSubstrate {
     udp: UdpStack,
     next_xid: u32,
-    partials: Vec<Partial>,
+    /// Shared fragment reassembly, demuxed per socket.
+    partials: Reassembler<u16>,
 }
 
 impl UdpSubstrate {
@@ -57,7 +50,7 @@ impl UdpSubstrate {
         UdpSubstrate {
             udp,
             next_xid: 1,
-            partials: Vec::new(),
+            partials: Reassembler::new(),
         }
     }
 
@@ -90,17 +83,18 @@ impl UdpSubstrate {
         if data.len() < DGRAM_LIMIT {
             return self.send_dgram(to, sock, &[&[FRAME_DATA], data], at);
         }
-        let total = data.len().div_ceil(DGRAM_LIMIT);
+        let plan = framing::plan(data.len(), DGRAM_LIMIT);
         let xid = self.next_xid;
         self.next_xid += 1;
         let mut all = true;
-        for (i, c) in data.chunks(DGRAM_LIMIT).enumerate() {
-            let mut head = [0u8; 9];
-            head[0] = FRAME_FRAG;
-            head[1..5].copy_from_slice(&xid.to_le_bytes());
-            head[5..7].copy_from_slice(&(i as u16).to_le_bytes());
-            head[7..9].copy_from_slice(&(total as u16).to_le_bytes());
-            all &= self.send_dgram(to, sock, &[&head, c], at.map(|t| t + Ns(i as u64)));
+        for (i, range) in plan.ranges().enumerate() {
+            let head = FragHeader {
+                xid,
+                idx: i as u16,
+                total: plan.total as u16,
+            }
+            .head(FRAME_FRAG);
+            all &= self.send_dgram(to, sock, &[&head, &data[range]], at.map(|t| t + Ns(i as u64)));
         }
         all
     }
@@ -147,70 +141,21 @@ impl UdpSubstrate {
                 })
             }
             FRAME_FRAG => {
-                let body = &d.data[1..];
-                if body.len() < 8 {
+                let Some((h, frag)) = FragHeader::parse(&d.data[1..]) else {
                     return self.malformed();
-                }
-                let xid = u32::from_le_bytes(body[0..4].try_into().expect("checked len"));
-                let idx = u16::from_le_bytes(body[4..6].try_into().expect("checked len"));
-                let total = u16::from_le_bytes(body[6..8].try_into().expect("checked len"));
-                if total == 0 || idx >= total {
-                    return self.malformed();
-                }
-                let mut payload = pool::take(body.len() - 8);
-                payload.extend_from_slice(&body[8..]);
-                let slot = match self
-                    .partials
-                    .iter()
-                    .position(|p| p.src == d.src && p.xid == xid && p.sock == sock)
-                {
-                    Some(i) => i,
-                    None => {
-                        self.partials.push(Partial {
-                            src: d.src,
-                            sock,
-                            xid,
-                            have: 0,
-                            chunks: vec![None; total as usize],
-                            last_ready: d.ready,
-                        });
-                        self.partials.len() - 1
-                    }
                 };
-                {
-                    let p = &mut self.partials[slot];
-                    if p.chunks.len() != total as usize {
-                        // Geometry disagrees with the first fragment seen
-                        // for this xid: the frame is untrustworthy.
-                        pool::give(payload);
-                        return self.malformed();
-                    }
-                    if p.chunks[idx as usize].is_none() {
-                        p.chunks[idx as usize] = Some(payload);
-                        p.have += 1;
-                    } else {
-                        pool::give(payload);
-                    }
-                    p.last_ready = p.last_ready.max(d.ready);
-                }
-                if self.partials[slot].have == total {
-                    let p = self.partials.remove(slot);
-                    let flen: usize = p.chunks.iter().flatten().map(Vec::len).sum();
-                    let mut full = pool::take(flen);
-                    for c in p.chunks {
-                        let c = c.expect("complete");
-                        full.extend_from_slice(&c);
-                        pool::give(c);
-                    }
-                    Some(IncomingMsg {
-                        from: p.src,
+                let mut payload = pool::take(frag.len());
+                payload.extend_from_slice(frag);
+                match self.partials.insert(d.src, sock, h, payload, d.ready) {
+                    framing::Insert::Pending => None,
+                    framing::Insert::Malformed => self.malformed(),
+                    framing::Insert::Complete(frame) => Some(IncomingMsg {
+                        from: frame.src,
                         chan,
-                        data: full,
-                        arrival: p.last_ready,
+                        arrival: frame.arrival,
+                        data: frame.assemble(0),
                         lost: false,
-                    })
-                } else {
-                    None
+                    }),
                 }
             }
             _ => self.malformed(),

@@ -106,7 +106,7 @@ impl NodeClock {
     }
 
     /// Interruptible application computation. Requests arriving inside this
-    /// segment may be serviced retroactively (see [`service_window`]).
+    /// segment may be serviced retroactively (see [`Self::service_window`]).
     pub fn compute(&mut self, d: Ns) {
         self.preemptible_since = self.now;
         self.now += d;

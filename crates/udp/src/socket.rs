@@ -1,7 +1,7 @@
 //! The kernel UDP/IP socket model.
 //!
 //! Fault injection lives at this layer for the UDP path: every datagram
-//! passes through [`UdpStack::push_wire`], where the seeded per-node
+//! passes through `UdpStack::push_wire`, where the seeded per-node
 //! fault stream decides drop / duplicate / reorder / corrupt. Losses are
 //! injected as *tombstones* — `RawPacket { lost: true }` still traverses
 //! the fabric so the receiving thread wakes at the datagram's virtual
@@ -141,7 +141,7 @@ impl UdpStack {
     }
 
     fn fragments(&self, len: usize) -> u64 {
-        (len.max(1)).div_ceil(self.params.udp.mtu) as u64
+        tmk::framing::fragment_count(len, self.params.udp.mtu) as u64
     }
 
     /// `sendto()`: copy into the kernel, fragment, and inject. Returns
