@@ -10,7 +10,7 @@ use tm_bench::{print_header, print_row, print_row_header};
 use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
 use tm_sim::stats::NodeStats;
 use tm_sim::{FaultPlan, Ns, SimParams};
-use tmk::{Substrate, Tmk, TmkConfig};
+use tmk::{BarrierAlgo, LayerMetrics, MetricsHandle, Substrate, Tmk, TmkConfig};
 
 const ROUNDS: u64 = 20;
 const PAGES: usize = 64;
@@ -54,18 +54,70 @@ fn tally<R>(outcomes: &[tm_sim::runner::NodeOutcome<R>]) {
     }
 }
 
+/// Per-layer event tallies across every workload and node, reported at
+/// the end when `E2_METRICS` is set. Off by default so stdout stays
+/// byte-identical to an uninstrumented run.
+static METRICS: std::sync::Mutex<Option<LayerMetrics>> = std::sync::Mutex::new(None);
+
+fn metrics_enabled() -> bool {
+    std::env::var_os("E2_METRICS").is_some()
+}
+
+/// Barrier algorithm under test, from `E2_BARRIER_ALGO`: `centralized`
+/// (the default), `tree:<radix>`, or `nictree:<radix>`. Lets the same
+/// microbenchmarks (and their fault plans) run against the combining-tree
+/// paths without a recompile.
+fn barrier_algo() -> BarrierAlgo {
+    match std::env::var("E2_BARRIER_ALGO").ok().as_deref() {
+        None | Some("") | Some("centralized") => BarrierAlgo::Centralized,
+        Some(s) => {
+            let (kind, radix) = s.split_once(':').unwrap_or((s, "4"));
+            let radix: u16 = radix.parse().expect("E2_BARRIER_ALGO radix must be a u16");
+            match kind {
+                "tree" => BarrierAlgo::Tree { radix },
+                "nictree" => BarrierAlgo::NicTree { radix },
+                other => panic!("unknown E2_BARRIER_ALGO algorithm {other:?}"),
+            }
+        }
+    }
+}
+
+fn tmk_cfg() -> TmkConfig {
+    TmkConfig {
+        barrier_algo: barrier_algo(),
+        ..TmkConfig::default()
+    }
+}
+
+/// Run one benchmark body, tapping the event hook into the global tally
+/// when metrics are requested. The hook charges no virtual time, so the
+/// measured numbers are identical either way.
+fn instrumented<S: Substrate>(tmk: &mut Tmk<S>, body: fn(&mut Tmk<S>) -> u64) -> u64 {
+    let handle = metrics_enabled().then(|| MetricsHandle::install(tmk));
+    let r = body(tmk);
+    if let Some(h) = handle {
+        METRICS
+            .lock()
+            .unwrap()
+            .get_or_insert_with(LayerMetrics::default)
+            .merge(&h.snapshot());
+        tmk.clear_event_hook();
+    }
+    r
+}
+
 // The bodies are generic functions; a tiny macro instantiates them for
 // both substrates without boxing.
 macro_rules! on_both {
     ($n:expr, $f:ident) => {{
         let udp = {
             let params = Arc::new(bench_params());
-            run_udp_dsm($n, params, TmkConfig::default(), $f)
+            run_udp_dsm($n, params, tmk_cfg(), move |tmk| instrumented(tmk, $f))
         };
         let fast = {
             let params = Arc::new(bench_params());
             let cfg = FastConfig::paper(&params);
-            run_fast_dsm($n, params, cfg, TmkConfig::default(), $f)
+            run_fast_dsm($n, params, cfg, tmk_cfg(), move |tmk| instrumented(tmk, $f))
         };
         tally(&udp);
         tally(&fast);
@@ -245,6 +297,19 @@ fn main() {
     }
     println!();
     println!("paper factors: Barrier ~2.5x, Lock ~3-4x, Page ~6.2x, Diff comparable");
+
+    // Per-layer event tallies: only when explicitly requested, so the
+    // default output above stays byte-identical.
+    if metrics_enabled() {
+        let m = METRICS.lock().unwrap();
+        let metrics = m.as_ref().cloned().unwrap_or_default();
+        println!();
+        println!(
+            "per-layer events (all workloads, both transports, algo={:?}):",
+            barrier_algo()
+        );
+        print!("{}", metrics.render());
+    }
 
     // Fault-injection report: only when the plan actually injects
     // something, so the zero-fault output above stays byte-identical.

@@ -5,14 +5,23 @@
 //! suggests pushing synchronization primitives down to the NIC. This
 //! study takes the reproduced system there:
 //!
-//! 1. barrier cost vs cluster size (16 → 128 nodes) on FAST/GM — the
-//!    centralized barrier's linear arrival/release serialization is the
-//!    first scaling wall the paper anticipates;
-//! 2. the same barrier on an *ideal* (zero-latency, zero-overhead)
-//!    substrate — the protocol floor, i.e. what NIC offload could at
-//!    best recover;
-//! 3. Jacobi at a fixed problem size across cluster sizes, showing where
+//! 1. barrier cost vs cluster size (16 → 128 nodes) on FAST/GM, for the
+//!    centralized barrier (linear arrival/release serialization — the
+//!    first scaling wall the paper anticipates) and for the radix-8
+//!    combining tree ([`tmk::BarrierAlgo::Tree`]), which bounds any
+//!    node's serialized work at radix arrivals;
+//! 2. the same tree with NIC-offloaded combining
+//!    ([`tmk::BarrierAlgo::NicTree`]) — arrivals are merged by LANai
+//!    firmware at `nic_combine` cost instead of a host interrupt plus
+//!    handler, the paper's concrete §5 suggestion;
+//! 3. the tree on an *ideal* (zero-latency, zero-overhead) substrate —
+//!    the algorithmic floor, i.e. what a perfect network could at best
+//!    recover once the algorithm itself scales;
+//! 4. Jacobi at a fixed problem size across cluster sizes, showing where
 //!    added nodes stop paying for themselves on each transport.
+//!
+//! `E7_SMOKE=1` runs a small assertion-carrying subset (8/16/32 nodes,
+//! centralized vs tree) for CI.
 
 use std::sync::Arc;
 
@@ -21,9 +30,23 @@ use tm_fast::{run_fast_dsm, FastConfig, Transport};
 use tm_sim::runner::NodeOutcome;
 use tm_sim::{Ns, SimParams};
 use tmk::memsub::run_mem_dsm;
-use tmk::{Substrate, Tmk, TmkConfig};
+use tmk::{BarrierAlgo, Substrate, Tmk, TmkConfig};
 
-const ROUNDS: u64 = 10;
+// Enough rounds to average out the wall-clock link-arbitration jitter
+// documented in DESIGN.md ("Determinism boundary") — at 10 rounds the
+// per-run mean still swings ~±15%.
+const ROUNDS: u64 = 60;
+
+/// Combining-tree radix (`E7_RADIX` to override). The default is chosen
+/// so 128 nodes fit in two levels (1 + k + k² ≥ 128) while keeping any
+/// single node's serialized arrival work well under the centralized
+/// manager's n−1.
+fn radix() -> u16 {
+    std::env::var("E7_RADIX")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8)
+}
 
 fn barrier_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
     tmk.barrier(0); // warmup
@@ -38,36 +61,104 @@ fn avg(v: &[NodeOutcome<u64>]) -> Ns {
     Ns(v.iter().map(|o| o.result).sum::<u64>() / v.len() as u64)
 }
 
+fn cfg(algo: BarrierAlgo) -> TmkConfig {
+    TmkConfig {
+        barrier_algo: algo,
+        ..TmkConfig::default()
+    }
+}
+
+/// Average barrier time on FAST/GM under the given algorithm.
+fn fast_barrier(n: usize, algo: BarrierAlgo) -> Ns {
+    let params = Arc::new(SimParams::paper_testbed());
+    let fc = FastConfig::paper(&params);
+    avg(&run_fast_dsm(n, params, fc, cfg(algo), barrier_body))
+}
+
+/// Average barrier time on the ideal (zero-cost) substrate.
+fn ideal_barrier(n: usize, algo: BarrierAlgo) -> Ns {
+    let params = Arc::new(SimParams::paper_testbed());
+    avg(&run_mem_dsm(n, params, Ns::ZERO, cfg(algo), barrier_body))
+}
+
+/// CI smoke: small clusters, assertion-carrying. Proves the tree barrier
+/// actually pays off and stays sub-linear without the 128-node runtime.
+fn smoke() {
+    print_header("E7 smoke: tree vs centralized barrier (8/16/32 nodes)");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "nodes",
+        "centralized",
+        format!("tree({})", radix())
+    );
+    let mut tree = Vec::new();
+    for n in [8usize, 16, 32] {
+        let c = fast_barrier(n, BarrierAlgo::Centralized);
+        let t = fast_barrier(n, BarrierAlgo::Tree { radix: radix() });
+        println!("{n:>6} {:>14} {:>14}", format!("{c}"), format!("{t}"));
+        if n >= 16 {
+            assert!(
+                t < c,
+                "tree barrier must beat centralized at {n} nodes ({t} vs {c})"
+            );
+        }
+        tree.push(t);
+    }
+    assert!(
+        tree[2].0 < 2 * tree[0].0,
+        "tree barrier 32 nodes ({}) must stay under 2x its 8-node cost ({})",
+        tree[2],
+        tree[0]
+    );
+    println!();
+    println!("ok: tree < centralized at 16/32 nodes, 32-node tree < 2x 8-node");
+}
+
 fn main() {
+    if std::env::var_os("E7_SMOKE").is_some() {
+        smoke();
+        return;
+    }
+
     print_header("E7: scaling toward 256 nodes (paper §5, future work)");
 
     println!();
-    println!("-- centralized barrier vs cluster size --");
+    println!("-- barrier vs cluster size, by algorithm --");
+    let k = radix();
     println!(
-        "{:>6} {:>14} {:>16}",
-        "nodes", "FAST/GM", "ideal network"
+        "{:>6} {:>14} {:>12} {:>14} {:>12}",
+        "nodes",
+        "centralized",
+        format!("tree({k})"),
+        format!("nic-tree({k})"),
+        "ideal tree"
     );
+    let mut tree = Vec::new();
     for n in [16usize, 32, 64, 128] {
-        let params = Arc::new(SimParams::paper_testbed());
-        let cfg = FastConfig::paper(&params);
-        let fast = run_fast_dsm(n, Arc::clone(&params), cfg, TmkConfig::default(), barrier_body);
-        let ideal = run_mem_dsm(
-            n,
-            params,
-            Ns::ZERO,
-            TmkConfig::default(),
-            barrier_body,
-        );
+        let central = fast_barrier(n, BarrierAlgo::Centralized);
+        let t = fast_barrier(n, BarrierAlgo::Tree { radix: radix() });
+        let nic = fast_barrier(n, BarrierAlgo::NicTree { radix: radix() });
+        let ideal = ideal_barrier(n, BarrierAlgo::Tree { radix: radix() });
         println!(
-            "{n:>6} {:>14} {:>16}",
-            format!("{}", avg(&fast)),
-            format!("{}", avg(&ideal)),
+            "{n:>6} {:>14} {:>12} {:>14} {:>12}",
+            format!("{central}"),
+            format!("{t}"),
+            format!("{nic}"),
+            format!("{ideal}"),
         );
+        tree.push((n, t));
     }
-    println!("the gap between the columns is what NIC-offloaded barriers");
-    println!("(the paper's suggestion) could at best recover; the ideal");
-    println!("column's own growth is the centralized algorithm's serial");
-    println!("arrival/release work — past ~64 nodes a tree barrier is due.");
+    let (n0, t0) = tree[0];
+    let (n3, t3) = tree[tree.len() - 1];
+    println!(
+        "tree scaling: {n3} nodes / {n0} nodes = {:.2}x cost",
+        t3.0 as f64 / t0.0.max(1) as f64
+    );
+    println!("the centralized column grows linearly (serialized arrivals at");
+    println!("the manager); the radix-8 tree grows with depth. nic-tree");
+    println!("replaces each interior host interrupt + handler with a LANai");
+    println!("combining step — the paper's §5 suggestion — and sits between");
+    println!("the tree and the ideal-network floor.");
 
     println!();
     println!("-- Jacobi 512x512, fixed size, growing cluster --");

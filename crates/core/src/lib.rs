@@ -20,8 +20,11 @@
 //! * **Distributed locks** ([`tmk`]): statically assigned managers,
 //!   migrating ownership, direct (manager-owned) and indirect (third-node)
 //!   acquisition — the two cases of the paper's Lock microbenchmark.
-//! * **Centralized barriers**: arrivals carry fresh intervals to the
-//!   manager; the release broadcasts the union.
+//! * **Barriers**: the paper's centralized barrier (arrivals carry fresh
+//!   intervals to the manager; the release broadcasts the union) plus a
+//!   radix-k combining-tree barrier with an optional NIC-offloaded
+//!   combining cost model (the §5 future-work suggestion) — see
+//!   [`tmk::BarrierAlgo`].
 //! * **Request/response protocol** ([`protocol`]): asynchronous requests
 //!   and synchronous responses, exactly the split the paper's Figure 1
 //!   draws — requests interrupt the peer, responses are awaited.
@@ -37,6 +40,7 @@ pub mod diff;
 pub mod framing;
 pub mod interval;
 pub mod memsub;
+pub mod metrics;
 pub mod page;
 pub mod protocol;
 pub mod substrate;
@@ -44,6 +48,7 @@ pub mod tmk;
 pub mod vc;
 pub mod wire;
 
+pub use metrics::{EventStat, LayerMetrics, MetricsHandle};
 pub use substrate::{Chan, IncomingMsg, ShutdownPoll, Substrate};
-pub use tmk::{SharedId, Tmk, TmkConfig, TmkEvent};
+pub use tmk::{BarrierAlgo, SharedId, Tmk, TmkConfig, TmkEvent};
 pub use vc::VectorClock;

@@ -1,0 +1,164 @@
+//! Per-layer metrics sink on the [`TmkEvent`](crate::TmkEvent) hook.
+//!
+//! [`MetricsHandle::install`] attaches a tallying hook to one node's
+//! runtime: every emitted event bumps a per-variant counter and records
+//! the virtual time at emission (first and last). Harnesses merge the
+//! per-node tallies into one [`LayerMetrics`] and print it next to
+//! `NodeStats` — this is how tree-barrier hops (`barrier_arrive_forwarded`
+//! / `barrier_release_fanned`) are observable without a debugger.
+//!
+//! The hook charges no virtual time and allocates only on the first
+//! occurrence of each variant, so installing it does not perturb results.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::substrate::Substrate;
+use crate::tmk::Tmk;
+
+/// Tally for one event variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventStat {
+    pub count: u64,
+    /// Virtual time (ns) of the first emission seen.
+    pub first_ns: u64,
+    /// Virtual time (ns) of the last emission seen.
+    pub last_ns: u64,
+}
+
+/// Per-variant event tallies, keyed by
+/// [`TmkEvent::kind`](crate::TmkEvent::kind). Also the cross-node merge
+/// target: harnesses fold every node's tally into one of these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayerMetrics {
+    stats: BTreeMap<&'static str, EventStat>,
+}
+
+impl LayerMetrics {
+    pub fn record(&mut self, kind: &'static str, now_ns: u64) {
+        let e = self.stats.entry(kind).or_insert(EventStat {
+            count: 0,
+            first_ns: now_ns,
+            last_ns: now_ns,
+        });
+        e.count += 1;
+        e.first_ns = e.first_ns.min(now_ns);
+        e.last_ns = e.last_ns.max(now_ns);
+    }
+
+    /// Fold another tally (typically a peer node's) into this one.
+    pub fn merge(&mut self, other: &LayerMetrics) {
+        for (kind, o) in &other.stats {
+            match self.stats.get_mut(kind) {
+                Some(e) => {
+                    e.count += o.count;
+                    e.first_ns = e.first_ns.min(o.first_ns);
+                    e.last_ns = e.last_ns.max(o.last_ns);
+                }
+                None => {
+                    self.stats.insert(kind, *o);
+                }
+            }
+        }
+    }
+
+    pub fn get(&self, kind: &str) -> Option<&EventStat> {
+        self.stats.get(kind)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Iterate tallies in stable (alphabetical) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &EventStat)> {
+        self.stats.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Render as aligned `kind count [first..last]us` lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = self.stats.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (kind, e) in &self.stats {
+            out.push_str(&format!(
+                "  {kind:width$}  x{:<8} t={:.1}..{:.1}us\n",
+                e.count,
+                e.first_ns as f64 / 1_000.0,
+                e.last_ns as f64 / 1_000.0,
+            ));
+        }
+        out
+    }
+}
+
+/// A node-local metrics sink: shared ownership of the tally that the
+/// installed event hook writes into.
+#[derive(Clone, Default)]
+pub struct MetricsHandle {
+    inner: Rc<RefCell<LayerMetrics>>,
+}
+
+impl MetricsHandle {
+    /// Install a tallying hook on `tmk` (replacing any existing hook) and
+    /// return the handle to read the tally back out.
+    pub fn install<S: Substrate>(tmk: &mut Tmk<S>) -> MetricsHandle {
+        let handle = MetricsHandle::default();
+        let sink = Rc::clone(&handle.inner);
+        let clock = tmk.clock().clone();
+        tmk.set_event_hook(move |ev| {
+            let now = clock.borrow().now().0;
+            sink.borrow_mut().record(ev.kind(), now);
+        });
+        handle
+    }
+
+    /// A snapshot of the tally so far.
+    pub fn snapshot(&self) -> LayerMetrics {
+        self.inner.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_count_and_time_bounds() {
+        let mut m = LayerMetrics::default();
+        m.record("lock_granted", 500);
+        m.record("lock_granted", 100);
+        m.record("lock_granted", 900);
+        let e = m.get("lock_granted").unwrap();
+        assert_eq!(e.count, 3);
+        assert_eq!(e.first_ns, 100);
+        assert_eq!(e.last_ns, 900);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_bounds() {
+        let mut a = LayerMetrics::default();
+        a.record("barrier_crossed", 10);
+        let mut b = LayerMetrics::default();
+        b.record("barrier_crossed", 5);
+        b.record("barrier_crossed", 50);
+        b.record("page_fetched", 7);
+        a.merge(&b);
+        let e = a.get("barrier_crossed").unwrap();
+        assert_eq!(e.count, 3);
+        assert_eq!(e.first_ns, 5);
+        assert_eq!(e.last_ns, 50);
+        assert_eq!(a.get("page_fetched").unwrap().count, 1);
+    }
+
+    #[test]
+    fn render_is_stable_and_aligned() {
+        let mut m = LayerMetrics::default();
+        m.record("b_kind", 1_000);
+        m.record("a_kind", 2_000);
+        let r = m.render();
+        let a_pos = r.find("a_kind").unwrap();
+        let b_pos = r.find("b_kind").unwrap();
+        assert!(a_pos < b_pos, "alphabetical order");
+    }
+}

@@ -35,6 +35,17 @@ pub enum Request {
         vc: VectorClock,
         records: Vec<IntervalRecord>,
     },
+    /// Combined barrier arrival from a whole subtree of the radix-k
+    /// combining tree, sent by a node to its tree parent. `min_vc` is the
+    /// pointwise *meet* of the subtree members' clocks (the coverage
+    /// floor the release must fill), `vc` their pointwise *join*, and
+    /// `records` the union of the members' fresh interval records.
+    BarrierTreeArrive {
+        barrier: u32,
+        min_vc: VectorClock,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+    },
 }
 
 /// Synchronous response bodies.
@@ -74,6 +85,14 @@ pub enum Response {
     /// A whole page that is entirely zero — no payload needed. Common for
     /// first-touch fetches of freshly allocated memory.
     ZeroPage { page: PageId, applied: Vec<u32> },
+    /// Tree-barrier release, fanned from a tree parent to a child:
+    /// globally merged vector time plus every interval record newer than
+    /// the child subtree's `min_vc` coverage floor.
+    BarrierTreeRelease {
+        barrier: u32,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+    },
 }
 
 pub(crate) fn encode_applied(applied: &[u32], w: &mut WireWriter) {
@@ -133,6 +152,17 @@ impl Request {
                 vc.encode(w);
                 encode_records(records, w);
             }
+            Request::BarrierTreeArrive {
+                barrier,
+                min_vc,
+                vc,
+                records,
+            } => {
+                w.u8(6).u32(*barrier);
+                min_vc.encode(w);
+                vc.encode(w);
+                encode_records(records, w);
+            }
         }
     }
 
@@ -159,6 +189,12 @@ impl Request {
             },
             5 => Request::BarrierArrive {
                 barrier: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+                records: decode_records(&mut r)?,
+            },
+            6 => Request::BarrierTreeArrive {
+                barrier: r.u32()?,
+                min_vc: VectorClock::decode(&mut r)?,
                 vc: VectorClock::decode(&mut r)?,
                 records: decode_records(&mut r)?,
             },
@@ -213,6 +249,15 @@ impl Response {
                 w.u8(5).u32(*page);
                 encode_applied(applied, w);
             }
+            Response::BarrierTreeRelease {
+                barrier,
+                vc,
+                records,
+            } => {
+                w.u8(6).u32(*barrier);
+                vc.encode(w);
+                encode_records(records, w);
+            }
         }
     }
 
@@ -252,6 +297,11 @@ impl Response {
             5 => Response::ZeroPage {
                 page: r.u32()?,
                 applied: decode_applied(&mut r)?,
+            },
+            6 => Response::BarrierTreeRelease {
+                barrier: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+                records: decode_records(&mut r)?,
             },
             _ => return None,
         };
@@ -305,6 +355,12 @@ mod tests {
                 vc: vc(&[4, 4]),
                 records: vec![rec(0, 4, &[4, 0], &[1, 2])],
             },
+            Request::BarrierTreeArrive {
+                barrier: 2,
+                min_vc: vc(&[1, 0, 2]),
+                vc: vc(&[4, 3, 5]),
+                records: vec![rec(1, 3, &[0, 3, 1], &[7]), rec(2, 5, &[1, 0, 5], &[])],
+            },
         ];
         for (i, req) in cases.into_iter().enumerate() {
             let buf = req.encode(i as u32);
@@ -339,6 +395,11 @@ mod tests {
             Response::BarrierRelease {
                 vc: vc(&[3, 3, 3]),
                 records: vec![],
+            },
+            Response::BarrierTreeRelease {
+                barrier: 9,
+                vc: vc(&[6, 6]),
+                records: vec![rec(0, 6, &[6, 2], &[1])],
             },
         ];
         for (i, resp) in cases.into_iter().enumerate() {

@@ -123,6 +123,16 @@ pub trait Substrate {
         ShutdownPoll::Done
     }
 
+    /// [`shutdown_poll`](Substrate::shutdown_poll) scoped to a subset of
+    /// peers: report `Done` as soon as every node in `watch` has left the
+    /// fabric. Tree barriers use this so each combining node lingers only
+    /// for its own descendants (the only peers that retransmit to it) and
+    /// the tree drains bottom-up instead of deadlocking. The default
+    /// (reliable transports) reports `Done` immediately.
+    fn shutdown_poll_watching(&mut self, _watch: &[usize]) -> ShutdownPoll {
+        ShutdownPoll::Done
+    }
+
     /// Largest message the substrate can carry in one piece. The runtime
     /// chunks diff responses to fit.
     fn max_msg(&self) -> usize {

@@ -62,13 +62,36 @@ use sync::{BarrierEpisode, LockState};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SharedId(pub usize);
 
+/// Barrier algorithm selection (the E7 scaling knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierAlgo {
+    /// Every node sends its arrival to the single barrier manager, which
+    /// serializes all merge + release work (the paper's implementation;
+    /// O(n) cost at the manager).
+    Centralized,
+    /// Radix-`radix` combining tree rooted at the barrier manager: each
+    /// interior node merges its children's arrivals and forwards one
+    /// combined arrival upward; the root fans the release back down.
+    /// O(log_k n) tree depth, at most `radix` serialized arrivals per
+    /// node. Combining is charged at host handler cost (interrupt +
+    /// dispatch), like any other request.
+    Tree { radix: u16 },
+    /// The same combining tree, but with merge and fan-out charged at
+    /// NIC-firmware cost on the asynchronous port instead of
+    /// host-interrupt + handler cost — the paper's §5 NIC-based barrier
+    /// suggestion. See `MyrinetParams::nic_combine`.
+    NicTree { radix: u16 },
+}
+
 /// Runtime tunables.
 #[derive(Debug, Clone)]
 pub struct TmkConfig {
     /// Diffs retained per page before GC falls back to full-page serves.
     pub diff_keep: usize,
-    /// Which node runs barriers.
+    /// Which node runs barriers (the tree root for tree algorithms).
     pub barrier_manager: u16,
+    /// How barrier arrivals are combined and releases fanned out.
+    pub barrier_algo: BarrierAlgo,
 }
 
 impl Default for TmkConfig {
@@ -76,6 +99,7 @@ impl Default for TmkConfig {
         TmkConfig {
             diff_keep: 256,
             barrier_manager: 0,
+            barrier_algo: BarrierAlgo::Centralized,
         }
     }
 }
@@ -99,6 +123,28 @@ pub enum TmkEvent {
     /// The rpc layer's retransmission timer fired (attempt number is
     /// 1-based).
     RetransmitFired { rid: u32, attempt: u32 },
+    /// Tree barrier: this node forwarded one combined arrival (covering
+    /// itself plus `children` direct subtrees) to its tree parent.
+    BarrierArriveForwarded { barrier: u32, to: u16, children: u16 },
+    /// Tree barrier: the root or an interior node fanned the release down
+    /// to `children` tree children.
+    BarrierReleaseFanned { barrier: u32, children: u16 },
+}
+
+impl TmkEvent {
+    /// Stable per-variant name, the key a metrics sink tallies under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TmkEvent::RequestServed { .. } => "request_served",
+            TmkEvent::PageFetched { .. } => "page_fetched",
+            TmkEvent::DiffApplied { .. } => "diff_applied",
+            TmkEvent::LockGranted { .. } => "lock_granted",
+            TmkEvent::BarrierCrossed { .. } => "barrier_crossed",
+            TmkEvent::RetransmitFired { .. } => "retransmit_fired",
+            TmkEvent::BarrierArriveForwarded { .. } => "barrier_arrive_forwarded",
+            TmkEvent::BarrierReleaseFanned { .. } => "barrier_release_fanned",
+        }
+    }
 }
 
 /// Installed observer for [`TmkEvent`]s.

@@ -150,6 +150,12 @@ impl<S: Substrate> Tmk<S> {
                 vc,
                 records,
             } => self.serve_barrier_arrive(from, rid, barrier, vc, records, arrival, cost),
+            Request::BarrierTreeArrive {
+                barrier,
+                min_vc,
+                vc,
+                records,
+            } => self.serve_tree_arrive(from, rid, barrier, min_vc, vc, records, arrival, cost),
         }
         self.emit(TmkEvent::RequestServed { from, rid });
         // Handlers that responded already cleared this via the remember
@@ -200,6 +206,17 @@ impl<S: Substrate> Tmk<S> {
     /// response; returns the service completion time.
     pub(super) fn charge_service(&mut self, arrival: Ns, cost: Ns) -> Ns {
         let scheme = self.sub.scheme();
+        self.clock()
+            .borrow_mut()
+            .service_window(arrival, &scheme, cost)
+    }
+
+    /// Charge a NIC-offloaded service window: the work happens in NIC
+    /// firmware on the asynchronous port, so no host interrupt is raised
+    /// and no handler-dispatch cost is paid — service begins at arrival
+    /// (or after earlier NIC work), costed by `cost` alone.
+    pub(super) fn charge_service_offloaded(&mut self, arrival: Ns, cost: Ns) -> Ns {
+        let scheme = tm_sim::AsyncScheme::Interrupt { cost: Ns::ZERO };
         self.clock()
             .borrow_mut()
             .service_window(arrival, &scheme, cost)
@@ -392,16 +409,32 @@ impl<S: Substrate> Tmk<S> {
             match self.sub.shutdown_poll() {
                 crate::substrate::ShutdownPoll::Done => break,
                 crate::substrate::ShutdownPoll::Quiet => {}
-                crate::substrate::ShutdownPoll::Msg(msg) => {
-                    if !msg.lost && msg.chan == Chan::Request {
-                        self.serve(msg.from, &msg.data, msg.arrival);
-                    } else if !msg.lost && msg.chan == Chan::Response {
-                        self.clock().borrow_mut().stats.stale_responses_dropped += 1;
-                    }
-                    pool::give(msg.data);
-                }
+                crate::substrate::ShutdownPoll::Msg(msg) => self.linger_dispatch(msg),
             }
         }
+    }
+
+    /// Shutdown linger scoped to `watch` (a tree node's descendants):
+    /// ends as soon as every watched peer's NIC has left the fabric,
+    /// regardless of peers elsewhere in the tree — lingering on the whole
+    /// cluster would deadlock parent against lingering ancestor.
+    pub(super) fn shutdown_linger_watching(&mut self, watch: &[usize]) {
+        loop {
+            match self.sub.shutdown_poll_watching(watch) {
+                crate::substrate::ShutdownPoll::Done => break,
+                crate::substrate::ShutdownPoll::Quiet => {}
+                crate::substrate::ShutdownPoll::Msg(msg) => self.linger_dispatch(msg),
+            }
+        }
+    }
+
+    fn linger_dispatch(&mut self, msg: crate::substrate::IncomingMsg) {
+        if !msg.lost && msg.chan == Chan::Request {
+            self.serve(msg.from, &msg.data, msg.arrival);
+        } else if !msg.lost && msg.chan == Chan::Response {
+            self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+        }
+        pool::give(msg.data);
     }
 }
 

@@ -1,12 +1,21 @@
-//! Synchronization: distributed locks and the centralized barrier.
+//! Synchronization: distributed locks and barriers.
 //!
 //! Locks have statically assigned managers (`lock % nprocs`) and a
 //! migrating token: the manager forwards an acquire to its owner hint,
 //! the owner grants at release, and direct (manager-owned) vs. indirect
 //! (third-node) acquisition are exactly the two cases of the paper's
-//! Lock microbenchmark. Barriers are centralized at
-//! [`TmkConfig::barrier_manager`](super::TmkConfig): arrivals carry fresh
-//! interval records; the release broadcasts the union.
+//! Lock microbenchmark.
+//!
+//! Barriers come in two shapes, selected by
+//! [`TmkConfig::barrier_algo`](super::TmkConfig): the paper's centralized
+//! barrier at [`TmkConfig::barrier_manager`](super::TmkConfig) (arrivals
+//! carry fresh interval records; the release broadcasts the union), and a
+//! radix-k combining tree rooted at the same node, where each interior
+//! node merges its children's arrivals (record union, vector-clock meet
+//! and join) into one combined arrival and the root fans the release back
+//! down. [`BarrierAlgo::NicTree`](super::BarrierAlgo) charges the
+//! combining at NIC-firmware cost instead of host interrupt + handler
+//! dispatch — the paper's §5 NIC-based barrier suggestion.
 //!
 //! This layer calls down into coherence (flush/apply intervals at every
 //! synchronization point, epoch GC after barriers) and rpc (moving
@@ -40,8 +49,12 @@ pub(super) struct LockState {
 
 pub(super) struct BarrierEpisode {
     arrived: Vec<bool>,
-    /// Client rid + vector time at arrival, per node.
-    clients: Vec<Option<(u32, VectorClock)>>,
+    /// Per arriving node: rid, coverage floor, coverage ceiling. For a
+    /// centralized client the floor and ceiling are both its vector time;
+    /// for a tree child they are the meet and join over its whole subtree.
+    /// The release back to that node carries every record newer than the
+    /// floor; the ceilings merge into the global barrier time.
+    clients: Vec<Option<(u32, VectorClock, VectorClock)>>,
     count: usize,
     /// Barrier id of this episode — mismatched ids are a program error
     /// (different nodes waiting at different barriers) and panic loudly
@@ -189,10 +202,67 @@ impl<S: Substrate> Tmk<S> {
             ),
         }
         cost += Ns(200 * records.len() as u64);
-        // Stash — the manager must not incorporate arrivals'
-        // intervals (records OR vector time) before its own
-        // departure: doing so would make its interim lock grants
-        // claim coverage of write notices it never forwarded.
+        self.stash_barrier_records(records);
+        if !self.barrier.arrived[from] {
+            self.barrier.arrived[from] = true;
+            self.barrier.count += 1;
+        }
+        self.barrier.clients[from] = Some((rid, vc.clone(), vc));
+        self.charge_service(arrival, cost);
+        self.note_pending();
+    }
+
+    /// A child's combined `BarrierTreeArrive` reached us as its tree
+    /// parent. Same deferred-incorporation discipline as the centralized
+    /// manager; under `NicTree` the merge is charged at NIC-firmware cost
+    /// with no host interrupt (the host CPU is never preempted).
+    // The parameter list mirrors the BarrierTreeArrive wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn serve_tree_arrive(
+        &mut self,
+        from: usize,
+        rid: u32,
+        barrier: u32,
+        min_vc: VectorClock,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+        arrival: Ns,
+        cost: Ns,
+    ) {
+        debug_assert!(
+            self.tree_children().contains(&from),
+            "tree arrival from {from}, not a child of {}",
+            self.me
+        );
+        match self.barrier.id {
+            None => self.barrier.id = Some(barrier),
+            Some(b) => assert_eq!(
+                b, barrier,
+                "barrier mismatch: subtree {from} arrived at {barrier}, episode is {b}"
+            ),
+        }
+        let nrec = records.len() as u64;
+        self.stash_barrier_records(records);
+        if !self.barrier.arrived[from] {
+            self.barrier.arrived[from] = true;
+            self.barrier.count += 1;
+        }
+        self.barrier.clients[from] = Some((rid, min_vc, vc));
+        if let super::BarrierAlgo::NicTree { .. } = self.cfg.barrier_algo {
+            let net = &self.sub.params().net;
+            let c = net.nic_combine + Ns(net.nic_combine_per_record.0 * nrec);
+            self.charge_service_offloaded(arrival, c);
+        } else {
+            self.charge_service(arrival, cost + Ns(200 * nrec));
+        }
+        self.note_pending();
+    }
+
+    /// Stash arrival records for departure. The combining node must not
+    /// incorporate arrivals' intervals (records OR vector time) before its
+    /// own release: doing so would make its interim lock grants claim
+    /// coverage of write notices it never forwarded.
+    fn stash_barrier_records(&mut self, records: Vec<IntervalRecord>) {
         for rec in records {
             let stashed = self
                 .barrier
@@ -203,13 +273,6 @@ impl<S: Substrate> Tmk<S> {
                 self.barrier.records.push(rec);
             }
         }
-        if !self.barrier.arrived[from] {
-            self.barrier.arrived[from] = true;
-            self.barrier.count += 1;
-        }
-        self.barrier.clients[from] = Some((rid, vc));
-        self.charge_service(arrival, cost);
-        self.note_pending();
     }
 
     /// Flush our interval and package a grant carrying everything the
@@ -323,50 +386,128 @@ impl<S: Substrate> Tmk<S> {
         self.emit(TmkEvent::LockGranted { lock, to: requester });
     }
 
+    // ----- barrier tree topology --------------------------------------------
+
+    /// Combining radix, or `None` for the centralized algorithm.
+    fn tree_radix(&self) -> Option<usize> {
+        match self.cfg.barrier_algo {
+            super::BarrierAlgo::Centralized => None,
+            super::BarrierAlgo::Tree { radix } | super::BarrierAlgo::NicTree { radix } => {
+                Some(radix.max(1) as usize)
+            }
+        }
+    }
+
+    /// Logical id in the tree: nodes renumbered so the barrier manager is
+    /// logical 0 (the root), which keeps the root knob meaningful at every
+    /// radix.
+    fn tree_lid(&self, node: usize) -> usize {
+        (node + self.n - self.cfg.barrier_manager as usize) % self.n
+    }
+
+    fn tree_node(&self, lid: usize) -> usize {
+        (lid + self.cfg.barrier_manager as usize) % self.n
+    }
+
+    /// Our parent in the combining tree (`None` at the root, and always
+    /// `None` under the centralized algorithm).
+    fn tree_parent(&self) -> Option<usize> {
+        let k = self.tree_radix()?;
+        let lid = self.tree_lid(self.me as usize);
+        if lid == 0 {
+            None
+        } else {
+            Some(self.tree_node((lid - 1) / k))
+        }
+    }
+
+    /// Our direct children in the combining tree (empty for leaves and
+    /// under the centralized algorithm).
+    fn tree_children(&self) -> Vec<usize> {
+        let Some(k) = self.tree_radix() else {
+            return Vec::new();
+        };
+        let lid = self.tree_lid(self.me as usize);
+        (k * lid + 1..=k * lid + k)
+            .take_while(|&c| c < self.n)
+            .map(|c| self.tree_node(c))
+            .collect()
+    }
+
+    /// Every node in our subtree, excluding ourselves. The shutdown linger
+    /// watches exactly these: they are the only peers whose retransmitted
+    /// arrivals we are responsible for answering.
+    fn tree_descendants(&self) -> Vec<usize> {
+        let Some(k) = self.tree_radix() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut frontier = vec![self.tree_lid(self.me as usize)];
+        while let Some(lid) = frontier.pop() {
+            for c in k * lid + 1..=k * lid + k {
+                if c < self.n {
+                    out.push(self.tree_node(c));
+                    frontier.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    // ----- barrier ----------------------------------------------------------
+
     /// `Tmk_barrier`.
     pub fn barrier(&mut self, id: u32) {
         trace!(self, "barrier {id} enter");
         let flush_cost = self.flush_interval();
         self.clock().borrow_mut().advance(flush_cost);
         self.clock().borrow_mut().stats.barriers += 1;
-        let mgr = self.cfg.barrier_manager;
-        if self.me == mgr {
-            self.barrier_as_manager(id)
-        } else {
-            let records = self.records_since_epoch();
-            let resp = self.rpc(
-                mgr as usize,
-                Request::BarrierArrive {
-                    barrier: id,
-                    vc: self.vc.clone(),
-                    records,
-                },
-            );
-            match resp {
-                Response::BarrierRelease { vc, records } => {
-                    let cost = self.apply_records(records);
-                    self.vc.join(&vc);
-                    self.clock().borrow_mut().advance(cost);
-                    self.epoch_gc(vc);
+        match self.tree_radix() {
+            None if self.me == self.cfg.barrier_manager => self.barrier_as_manager(id),
+            None => {
+                let records = self.records_since_epoch();
+                let resp = self.rpc(
+                    self.cfg.barrier_manager as usize,
+                    Request::BarrierArrive {
+                        barrier: id,
+                        vc: self.vc.clone(),
+                        records,
+                    },
+                );
+                match resp {
+                    Response::BarrierRelease { vc, records } => {
+                        let cost = self.apply_records(records);
+                        self.vc.join(&vc);
+                        self.clock().borrow_mut().advance(cost);
+                        self.epoch_gc(vc);
+                    }
+                    other => panic!("expected BarrierRelease, got {other:?}"),
                 }
-                other => panic!("expected BarrierRelease, got {other:?}"),
             }
+            Some(_) => self.barrier_tree(id),
         }
         self.emit(TmkEvent::BarrierCrossed { id });
     }
 
-    fn barrier_as_manager(&mut self, id: u32) {
-        // Local arrival.
+    /// Note our own arrival in the current episode (manager / tree-node
+    /// local bookkeeping).
+    fn barrier_arrive_self(&mut self, id: u32) {
         match self.barrier.id {
             None => self.barrier.id = Some(id),
-            Some(b) => assert_eq!(b, id, "manager at barrier {id}, episode is {b}"),
+            Some(b) => assert_eq!(b, id, "node {} at barrier {id}, episode is {b}", self.me),
         }
         if !self.barrier.arrived[self.me as usize] {
             self.barrier.arrived[self.me as usize] = true;
             self.barrier.count += 1;
         }
+    }
+
+    /// Serve-while-waiting until `expected` arrivals (ours included) are
+    /// in the episode. Requests keep being dispatched — lock traffic and
+    /// late subtree arrivals must make progress while we wait.
+    fn barrier_wait_arrivals(&mut self, expected: usize) {
         self.clock().borrow_mut().begin_wait();
-        while self.barrier.count < self.n {
+        while self.barrier.count < expected {
             let msg = self.sub.next_incoming();
             if msg.lost {
                 // A peer's arrival (or a stray duplicate) died in flight;
@@ -388,9 +529,14 @@ impl<S: Substrate> Tmk<S> {
                     pool::give(msg.data);
                     self.clock().borrow_mut().begin_wait();
                 }
-                Chan::Response => panic!("manager got a response inside barrier wait"),
+                Chan::Response => panic!("got a response inside barrier wait"),
             }
         }
+    }
+
+    fn barrier_as_manager(&mut self, id: u32) {
+        self.barrier_arrive_self(id);
+        self.barrier_wait_arrivals(self.n);
         // Everyone is here: departure. Incorporate the arrivals' interval
         // records and vector times, invalidate, then release the clients.
         // The stashed records move into apply_records — no clone.
@@ -400,41 +546,176 @@ impl<S: Substrate> Tmk<S> {
         let apply_cost = self.apply_records(records);
         self.clock().borrow_mut().advance(apply_cost);
         for slot in clients.iter().flatten() {
-            self.vc.join(&slot.1);
+            self.vc.join(&slot.2);
         }
         let merged = self.vc.clone();
-        for (node, slot) in clients.into_iter().enumerate() {
-            let Some((rid, cvc)) = slot else { continue };
-            let records = self.log.newer_than(&cvc);
-            let resp = Response::BarrierRelease {
-                vc: merged.clone(),
+        self.fan_release(id, clients, &merged);
+        self.epoch_gc(merged);
+    }
+
+    /// Tree-barrier path, for the root, interior nodes and leaves alike.
+    fn barrier_tree(&mut self, id: u32) {
+        let children = self.tree_children();
+        self.barrier_arrive_self(id);
+        // Wait for one combined arrival per direct child subtree (leaves
+        // skip straight through).
+        self.barrier_wait_arrivals(children.len() + 1);
+        let episode = std::mem::replace(&mut self.barrier, BarrierEpisode::new(self.n));
+        match self.tree_parent() {
+            None => self.tree_depart_root(id, episode),
+            Some(parent) => self.tree_combine_upward(id, parent, episode),
+        }
+    }
+
+    /// Root departure: the episode now covers the whole cluster. Merge,
+    /// fan the release down, advance the epoch.
+    fn tree_depart_root(&mut self, id: u32, episode: BarrierEpisode) {
+        let BarrierEpisode {
+            records, clients, ..
+        } = episode;
+        let apply_cost = self.apply_records(records);
+        self.clock().borrow_mut().advance(apply_cost);
+        for slot in clients.iter().flatten() {
+            self.vc.join(&slot.2);
+        }
+        let merged = self.vc.clone();
+        self.fan_release(id, clients, &merged);
+        self.epoch_gc(merged);
+    }
+
+    /// Interior/leaf upward phase: merge our children's combined arrivals
+    /// with our own state, forward one `BarrierTreeArrive` to our parent,
+    /// and on release fan it down to our children before advancing the
+    /// epoch. Like the centralized manager, we must not incorporate the
+    /// children's intervals until our own release arrives.
+    fn tree_combine_upward(&mut self, id: u32, parent: usize, episode: BarrierEpisode) {
+        let BarrierEpisode {
+            mut records,
+            clients,
+            ..
+        } = episode;
+        // Subtree coverage floor (meet) and ceiling (join) over ourselves
+        // and every child subtree.
+        let mut min_vc = self.vc.clone();
+        let mut max_vc = self.vc.clone();
+        for slot in clients.iter().flatten() {
+            min_vc.meet(&slot.1);
+            max_vc.join(&slot.2);
+        }
+        // Our own fresh records ride along with the stashed subtree union
+        // (records_since_epoch also re-covers third-party intervals we
+        // learned through locks, so nothing is lost to the stash dedup).
+        for rec in self.records_since_epoch() {
+            if !records.iter().any(|r| r.node == rec.node && r.seq == rec.seq) {
+                records.push(rec);
+            }
+        }
+        self.emit(TmkEvent::BarrierArriveForwarded {
+            barrier: id,
+            to: parent as u16,
+            children: clients.iter().flatten().count() as u16,
+        });
+        let resp = self.rpc(
+            parent,
+            Request::BarrierTreeArrive {
+                barrier: id,
+                min_vc,
+                vc: max_vc,
                 records,
+            },
+        );
+        match resp {
+            Response::BarrierTreeRelease {
+                barrier,
+                vc,
+                records,
+            } => {
+                assert_eq!(barrier, id, "release for barrier {barrier}, expected {id}");
+                let cost = self.apply_records(records);
+                self.vc.join(&vc);
+                self.clock().borrow_mut().advance(cost);
+                // Fan down before the epoch advances: newer_than against
+                // the children's floors needs the pre-GC log.
+                self.fan_release(id, clients, &vc);
+                self.epoch_gc(vc);
+            }
+            other => panic!("expected BarrierTreeRelease, got {other:?}"),
+        }
+    }
+
+    /// Release every arrival in `clients`: each gets the merged barrier
+    /// time plus all records newer than its coverage floor. Under
+    /// `NicTree` the fan-out is charged at NIC-firmware cost; otherwise at
+    /// the substrate's host response cost.
+    fn fan_release(
+        &mut self,
+        id: u32,
+        clients: Vec<Option<(u32, VectorClock, VectorClock)>>,
+        merged: &VectorClock,
+    ) {
+        let tree = self.tree_radix().is_some();
+        let offloaded = matches!(self.cfg.barrier_algo, super::BarrierAlgo::NicTree { .. });
+        let mut fanned = 0u16;
+        for (node, slot) in clients.into_iter().enumerate() {
+            let Some((rid, floor, _)) = slot else { continue };
+            let records = self.log.newer_than(&floor);
+            let resp = if tree {
+                Response::BarrierTreeRelease {
+                    barrier: id,
+                    vc: merged.clone(),
+                    records,
+                }
+            } else {
+                Response::BarrierRelease {
+                    vc: merged.clone(),
+                    records,
+                }
             };
             let mut w = WireWriter::pooled(128);
             resp.encode_into(rid, &mut w);
-            let cost = self.sub.response_cost(w.len()) + Ns(500);
+            let cost = if offloaded {
+                self.sub.params().net.nic_combine
+            } else {
+                self.sub.response_cost(w.len()) + Ns(500)
+            };
             self.clock().borrow_mut().advance(cost);
             let now = self.clock().borrow().now();
             self.sub.send_response_at(node, w.as_slice(), now);
-            // A lost release leaves the client retransmitting its
-            // BarrierArrive; answer the duplicate from the cache.
+            // A lost release leaves the peer retransmitting its arrival;
+            // answer the duplicate from the cache.
             self.remember_response((node, rid), node, w.as_slice());
             w.recycle();
+            fanned += 1;
         }
-        self.epoch_gc(merged);
+        if tree && fanned > 0 {
+            self.emit(TmkEvent::BarrierReleaseFanned {
+                barrier: id,
+                children: fanned,
+            });
+        }
     }
 
     /// Final synchronization before the node thread returns: a barrier, so
     /// no peer is left blocked on us.
     ///
-    /// On a lossy transport the barrier manager additionally lingers: a
-    /// client whose exit release was lost keeps retransmitting its
-    /// `BarrierArrive`, and only the manager's replay cache can answer it.
-    /// The linger ends when every peer's NIC has left the fabric.
+    /// On a lossy transport every node that answers barrier arrivals
+    /// additionally lingers: a peer whose exit release was lost keeps
+    /// retransmitting its arrival, and only our replay cache can answer
+    /// it. The centralized manager watches the whole cluster; a tree node
+    /// watches its descendants — leaves exit immediately and the tree
+    /// drains bottom-up (a parent lingering on *all* peers would deadlock
+    /// against its own lingering ancestors).
     pub fn exit(&mut self) {
         self.barrier(u32::MAX);
-        if self.sub.retransmit_timeout().is_some() && self.me == self.cfg.barrier_manager {
-            self.shutdown_linger();
+        if self.sub.retransmit_timeout().is_some() {
+            if self.tree_radix().is_some() {
+                let watch = self.tree_descendants();
+                if !watch.is_empty() {
+                    self.shutdown_linger_watching(&watch);
+                }
+            } else if self.me == self.cfg.barrier_manager {
+                self.shutdown_linger();
+            }
         }
     }
 }

@@ -169,6 +169,22 @@ impl WireWriter {
         self
     }
 
+    /// LEB128 variable-length u32: 1 byte for values < 128, at most 5.
+    /// Used where small values dominate but the full range must stay
+    /// representable — vector-clock entries chiefly, whose fixed-width
+    /// encoding made every synchronization message grow 4·nprocs bytes.
+    pub fn u32v(&mut self, mut v: u32) -> &mut Self {
+        loop {
+            let b = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(b);
+                return self;
+            }
+            self.buf.push(b | 0x80);
+        }
+    }
+
     /// Length-prefixed byte slice (u32 length).
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.u32(v.len() as u32);
@@ -273,6 +289,21 @@ impl<'a> WireReader<'a> {
         })
     }
 
+    /// LEB128 variable-length u32. Rejects encodings longer than 5 bytes
+    /// or overflowing 32 bits (possible once fault injection corrupts a
+    /// continuation bit) instead of panicking.
+    pub fn u32v(&mut self) -> Option<u32> {
+        let mut v: u64 = 0;
+        for shift in (0..35).step_by(7) {
+            let b = self.u8()?;
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return u32::try_from(v).ok();
+            }
+        }
+        None
+    }
+
     /// Length-prefixed byte slice.
     pub fn bytes(&mut self) -> Option<&'a [u8]> {
         let len = self.u32()? as usize;
@@ -319,6 +350,40 @@ mod tests {
         assert_eq!(r.bytes(), Some(&b"hello"[..]));
         assert_eq!(r.bytes(), Some(&b""[..]));
         assert_eq!(r.u8(), Some(9));
+    }
+
+    #[test]
+    fn varint_sizes_and_roundtrip() {
+        for (v, len) in [
+            (0u32, 1usize),
+            (1, 1),
+            (127, 1),
+            (128, 2),
+            (16_383, 2),
+            (16_384, 3),
+            (u32::MAX, 5),
+        ] {
+            let mut w = WireWriter::new();
+            w.u32v(v);
+            let buf = w.finish();
+            assert_eq!(buf.len(), len, "encoded size of {v}");
+            let mut r = WireReader::new(&buf);
+            assert_eq!(r.u32v(), Some(v));
+            assert_eq!(r.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflow() {
+        // Six continuation bytes: too long for a u32.
+        let mut r = WireReader::new(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01]);
+        assert_eq!(r.u32v(), None);
+        // Five bytes whose top nibble overflows 32 bits.
+        let mut r = WireReader::new(&[0xff, 0xff, 0xff, 0xff, 0x7f]);
+        assert_eq!(r.u32v(), None);
+        // Truncated mid-value.
+        let mut r = WireReader::new(&[0x80]);
+        assert_eq!(r.u32v(), None);
     }
 
     #[test]

@@ -161,6 +161,23 @@ impl UdpSubstrate {
             _ => self.malformed(),
         }
     }
+
+    /// One shutdown-linger quantum: wait up to an rto (virtual) / the
+    /// linger guard (wall clock) for late traffic, handing back whatever
+    /// arrives. Shared by the cluster-wide and subtree-scoped lingers.
+    fn linger_quantum(&mut self) -> ShutdownPoll {
+        let deadline = self.udp.clock().borrow().now() + self.udp.params().udp.rto;
+        match self
+            .udp
+            .recv_any_timeout(&[REQ_SOCK, REP_SOCK], deadline, LINGER_GUARD)
+        {
+            Some((sock, d)) => match self.handle(sock, d) {
+                Some(msg) => ShutdownPoll::Msg(msg),
+                None => ShutdownPoll::Quiet,
+            },
+            None => ShutdownPoll::Quiet,
+        }
+    }
 }
 
 impl Substrate for UdpSubstrate {
@@ -245,17 +262,14 @@ impl Substrate for UdpSubstrate {
         if !self.udp.peers_alive() {
             return ShutdownPoll::Done;
         }
-        let deadline = self.udp.clock().borrow().now() + self.udp.params().udp.rto;
-        match self
-            .udp
-            .recv_any_timeout(&[REQ_SOCK, REP_SOCK], deadline, LINGER_GUARD)
-        {
-            Some((sock, d)) => match self.handle(sock, d) {
-                Some(msg) => ShutdownPoll::Msg(msg),
-                None => ShutdownPoll::Quiet,
-            },
-            None => ShutdownPoll::Quiet,
+        self.linger_quantum()
+    }
+
+    fn shutdown_poll_watching(&mut self, watch: &[usize]) -> ShutdownPoll {
+        if !self.udp.peers_alive_in(watch) {
+            return ShutdownPoll::Done;
         }
+        self.linger_quantum()
     }
 }
 

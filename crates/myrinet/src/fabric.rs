@@ -1,6 +1,6 @@
 //! The switch fabric: per-link serialization and cut-through forwarding.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -28,6 +28,10 @@ pub struct Fabric {
     /// manager lingers, answering duplicate requests, until every peer is
     /// gone.
     alive: Vec<AtomicBool>,
+    /// Count of set flags in `alive`, so the shutdown-linger poll loop is
+    /// one atomic load instead of a full scan. Decremented *after* the
+    /// flag clears, so the count is always ≥ the number of set flags.
+    live: AtomicUsize,
     /// Extra switch traversals beyond the first (multi-stage fabrics for
     /// >16 nodes; the paper's 16-node testbed used a single crossbar).
     extra_hops: u32,
@@ -51,19 +55,24 @@ impl Fabric {
                 rx_free: AtomicU64::new(0),
             })
             .collect();
-        // A 16-port crossbar covers 16 nodes in one hop; larger clusters
-        // need a Clos-style spine, one extra traversal per additional stage.
-        let extra_hops = if n <= 16 {
-            0
-        } else {
-            (n as f64).log(16.0).ceil() as u32 - 1
-        };
+        // A 16-port crossbar covers 16 nodes in one hop. Larger clusters
+        // are a folded Clos of 16-port crossbars: a path crosses up the
+        // leaf stages to a spine and back down, so each additional level
+        // adds *two* traversals (17–256 nodes is leaf–spine–leaf: 2 extra).
+        let mut levels = 1u32;
+        let mut capacity = 16usize;
+        while capacity < n {
+            capacity *= 16;
+            levels += 1;
+        }
+        let extra_hops = 2 * (levels - 1);
         let alive = (0..n).map(|_| AtomicBool::new(true)).collect();
         let fabric = Arc::new(Fabric {
             params,
             links,
             inboxes,
             alive,
+            live: AtomicUsize::new(n),
             extra_hops,
         });
         let handles = receivers
@@ -80,15 +89,50 @@ impl Fabric {
 
     /// Mark a node's NIC as gone (called from `NicHandle::drop`).
     pub(crate) fn mark_dead(&self, node: NodeId) {
-        self.alive[node].store(false, Ordering::Release);
+        // Clear-then-decrement keeps `live` an upper bound on the set
+        // flags at every instant (a transient over-count only makes a
+        // linger poll spin once more, never exit early).
+        if self.alive[node].swap(false, Ordering::AcqRel) {
+            self.live.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 
-    /// Whether any node other than `me` still holds its NIC.
+    /// Whether any node other than `me` still holds its NIC. O(1) via the
+    /// live count (the linger loops poll this on every quantum); checked
+    /// against the flag scan in debug builds.
     pub fn others_alive(&self, me: NodeId) -> bool {
-        self.alive
-            .iter()
-            .enumerate()
-            .any(|(i, a)| i != me && a.load(Ordering::Acquire))
+        let fast = self.live_others(me);
+        #[cfg(debug_assertions)]
+        if !fast {
+            // Clear-then-decrement makes `live` an upper bound on the set
+            // flags at every instant, and both are monotone decreasing, so
+            // "count says dead" is the one verdict the scan can soundly
+            // contradict: a zero count with a flag still set means the
+            // fast path would end a linger while a peer could still
+            // retransmit. (fast=true with all flags clear is the benign
+            // transient of a `mark_dead` caught between its two steps.)
+            let slow = self
+                .alive
+                .iter()
+                .enumerate()
+                .any(|(i, a)| i != me && a.load(Ordering::Acquire));
+            debug_assert!(!slow, "live count dropped below set alive flags");
+        }
+        fast
+    }
+
+    fn live_others(&self, me: NodeId) -> bool {
+        let mut live = self.live.load(Ordering::Acquire);
+        if self.alive[me].load(Ordering::Acquire) {
+            live = live.saturating_sub(1);
+        }
+        live > 0
+    }
+
+    /// Whether any of `nodes` still holds its NIC. Tree-barrier shutdown
+    /// lingers watch only their own subtree through this.
+    pub fn any_alive(&self, nodes: &[NodeId]) -> bool {
+        nodes.iter().any(|&i| self.alive[i].load(Ordering::Acquire))
     }
 
     pub fn params(&self) -> &SimParams {
@@ -243,12 +287,38 @@ mod tests {
 
     #[test]
     fn extra_hops_for_big_clusters() {
+        // ≤16 nodes: one crossbar, no extra traversals. 17–256 nodes: a
+        // folded Clos of 16-port crossbars is leaf–spine–leaf, so a path
+        // crosses two switches beyond the first. 257–4096: three extra
+        // levels up and down = 4.
         let (f16, _) = fabric(16);
+        let (f17, _) = fabric(17);
         let (f64n, _) = fabric(64);
-        assert_eq!(f16.extra_hops, 0);
-        assert_eq!(f64n.extra_hops, 1);
         let (f256, _) = fabric(256);
-        assert_eq!(f256.extra_hops, 1);
+        let (f257, _) = fabric(257);
+        assert_eq!(f16.extra_hops, 0);
+        assert_eq!(f17.extra_hops, 2);
+        assert_eq!(f64n.extra_hops, 2);
+        assert_eq!(f256.extra_hops, 2);
+        assert_eq!(f257.extra_hops, 4);
+    }
+
+    #[test]
+    fn live_count_tracks_mark_dead() {
+        let (f, nics) = fabric(4);
+        // Keep the NICs alive for the duration of the test; their Drop
+        // would otherwise call mark_dead underneath us.
+        assert!(f.others_alive(0));
+        f.mark_dead(1);
+        f.mark_dead(2);
+        assert_eq!(f.live.load(Ordering::Acquire), 2);
+        assert!(f.others_alive(0), "node 3 still up");
+        assert!(f.any_alive(&[3]));
+        assert!(!f.any_alive(&[1, 2]));
+        f.mark_dead(3);
+        assert!(!f.others_alive(0), "only we remain");
+        assert!(f.any_alive(&[0]), "we are still alive");
+        drop(nics);
     }
 
     #[test]

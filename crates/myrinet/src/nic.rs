@@ -51,6 +51,12 @@ impl NicHandle {
         self.fabric.others_alive(self.node)
     }
 
+    /// Whether any of `nodes` still holds its NIC (see
+    /// [`Fabric::any_alive`]). Subtree-scoped shutdown lingers use this.
+    pub fn any_alive(&self, nodes: &[NodeId]) -> bool {
+        self.fabric.any_alive(nodes)
+    }
+
     /// Inject a packet from this node (sender side). Thin forwarding to
     /// [`Fabric::transmit`]; cost accounting is the caller's business.
     pub fn inject(

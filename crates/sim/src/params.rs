@@ -33,6 +33,15 @@ pub struct MyrinetParams {
     /// Cost of raising a host interrupt from the NIC (the firmware
     /// modification of §2.2.4).
     pub host_interrupt: Ns,
+    /// LANai-side cost of merging one combined barrier arrival in firmware
+    /// (vector-clock meet/join plus record-set union), used by the
+    /// NIC-offloaded combining-tree barrier (§5 future work). Charged per
+    /// arrival *instead of* `host_interrupt` + the host handler dispatch.
+    pub nic_combine: Ns,
+    /// LANai-side per-record cost while combining (the firmware walks the
+    /// piggybacked write-notice list); the 132 MHz LANai is slower per item
+    /// than the host CPU, but never pays the PCI + interrupt crossing.
+    pub nic_combine_per_record: Ns,
 }
 
 impl Default for MyrinetParams {
@@ -43,6 +52,8 @@ impl Default for MyrinetParams {
             nic_tx: Ns(2_500),
             nic_rx: Ns(2_800),
             host_interrupt: Ns(7_000),
+            nic_combine: Ns(1_500),
+            nic_combine_per_record: Ns(400),
         }
     }
 }

@@ -124,6 +124,12 @@ impl UdpStack {
         self.nic.others_alive()
     }
 
+    /// Whether any of `nodes` still has its NIC registered — the
+    /// subtree-scoped liveness check behind tree-barrier shutdown lingers.
+    pub fn peers_alive_in(&self, nodes: &[usize]) -> bool {
+        self.nic.any_alive(nodes)
+    }
+
     /// `socket() + bind()`: claim a local port. `sigio` models O_ASYNC.
     pub fn bind(&mut self, port: u16, sigio: bool) {
         assert!(
