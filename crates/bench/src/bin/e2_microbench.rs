@@ -10,7 +10,7 @@ use tm_bench::{print_header, print_row, print_row_header};
 use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
 use tm_sim::stats::NodeStats;
 use tm_sim::{FaultPlan, Ns, SimParams};
-use tmk::{BarrierAlgo, LayerMetrics, MetricsHandle, Substrate, Tmk, TmkConfig};
+use tmk::{BarrierAlgo, DiffFetch, LayerMetrics, MetricsHandle, Substrate, Tmk, TmkConfig};
 
 const ROUNDS: u64 = 20;
 const PAGES: usize = 64;
@@ -82,9 +82,22 @@ fn barrier_algo() -> BarrierAlgo {
     }
 }
 
+/// Diff-fetch engine under test, from `E2_DIFF_FETCH`: `coalesced` (the
+/// default), `parallel`, or `serial` (the one-outstanding-RPC spec
+/// baseline).
+fn diff_fetch() -> DiffFetch {
+    match std::env::var("E2_DIFF_FETCH").ok().as_deref() {
+        None | Some("") | Some("coalesced") => DiffFetch::Coalesced,
+        Some("parallel") => DiffFetch::Parallel,
+        Some("serial") => DiffFetch::Serial,
+        Some(other) => panic!("unknown E2_DIFF_FETCH engine {other:?}"),
+    }
+}
+
 fn tmk_cfg() -> TmkConfig {
     TmkConfig {
         barrier_algo: barrier_algo(),
+        diff_fetch: diff_fetch(),
         ..TmkConfig::default()
     }
 }
@@ -262,6 +275,43 @@ fn diff_large_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
     diff_body(tmk, true)
 }
 
+/// Multi-writer diff: nodes `0..n-1` each write a disjoint word of every
+/// page; the last node, holding stale copies, re-reads one word per page
+/// and pays one diff fetch per writer per page fault. Under the
+/// overlapped engine the k requests fly concurrently, so the fault cost
+/// approaches the slowest round trip instead of the sum of k of them.
+fn diff_multi_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
+    let region = tmk.malloc(PAGES * 4096);
+    let me = tmk.proc_id();
+    let writers = tmk.nprocs() - 1;
+    // Everyone warms every page: writers need resident copies so their
+    // stores produce diffs, and the reader needs stale copies so the
+    // measured access is a diff fetch rather than a page fetch.
+    for p in 0..PAGES {
+        let _ = tmk.get_u32(region, p * 1024);
+    }
+    tmk.barrier(0);
+    if me < writers {
+        // Disjoint words of the same pages: concurrent multi-writer
+        // intervals, the workload TreadMarks' diff protocol exists for.
+        for p in 0..PAGES {
+            tmk.set_u32(region, p * 1024 + me * 16, 7 + me as u32);
+        }
+    }
+    tmk.barrier(1);
+    let mut per_page = 0u64;
+    if me == writers {
+        let t0 = tmk.clock().borrow().now();
+        for p in 0..PAGES {
+            let v = tmk.get_u32(region, p * 1024);
+            assert_ne!(v, 0, "writer 0's diff must have been applied");
+        }
+        per_page = (tmk.clock().borrow().now() - t0).0 / PAGES as u64;
+    }
+    tmk.barrier(2);
+    per_page
+}
+
 fn avg_nonzero(v: &[tm_sim::runner::NodeOutcome<u64>]) -> Ns {
     let vals: Vec<u64> = v.iter().map(|o| o.result).filter(|&x| x > 0).collect();
     Ns(vals.iter().sum::<u64>() / vals.len().max(1) as u64)
@@ -295,8 +345,55 @@ fn main() {
         let (udp, fast) = on_both!(2, diff_large_body);
         print_row("Diff large (per page)", Ns(udp[1].result), Ns(fast[1].result));
     }
+    {
+        let (udp, fast) = on_both!(2, diff_multi_body);
+        print_row("Diff 1-writer (per page)", Ns(udp[1].result), Ns(fast[1].result));
+    }
+    {
+        let (udp, fast) = on_both!(5, diff_multi_body);
+        print_row("Diff 4-writer (per page)", Ns(udp[4].result), Ns(fast[4].result));
+    }
     println!();
     println!("paper factors: Barrier ~2.5x, Lock ~3-4x, Page ~6.2x, Diff comparable");
+
+    // Smoke assertions for CI (`E2_SMOKE`): the overlapped engines must
+    // beat the serial spec baseline on the 4-writer diff fetch, and the
+    // 4-writer fault must scale sub-linearly (< 2x the 1-writer cost)
+    // under overlap. Runs FAST/GM only; prints the numbers it compared.
+    if std::env::var_os("E2_SMOKE").is_some() {
+        let run = |n: usize, df: DiffFetch| {
+            let params = Arc::new(bench_params());
+            let cfg = FastConfig::paper(&params);
+            let tcfg = TmkConfig {
+                diff_fetch: df,
+                ..tmk_cfg()
+            };
+            let out = run_fast_dsm(n, params, cfg, tcfg, diff_multi_body);
+            out[n - 1].result
+        };
+        let serial = run(5, DiffFetch::Serial);
+        let parallel = run(5, DiffFetch::Parallel);
+        let coalesced = run(5, DiffFetch::Coalesced);
+        let k1 = run(2, DiffFetch::Coalesced);
+        println!();
+        println!(
+            "e2-smoke: 4-writer diff fetch (FAST, ns/page): \
+             serial={serial} parallel={parallel} coalesced={coalesced} 1-writer={k1}"
+        );
+        assert!(
+            parallel < serial,
+            "parallel diff fetch ({parallel}) must beat serial ({serial})"
+        );
+        assert!(
+            coalesced < serial,
+            "coalesced diff fetch ({coalesced}) must beat serial ({serial})"
+        );
+        assert!(
+            coalesced < 2 * k1,
+            "4-writer fault ({coalesced}) must be sub-linear vs 1-writer ({k1})"
+        );
+        println!("e2-smoke: overlap assertions passed");
+    }
 
     // Per-layer event tallies: only when explicitly requested, so the
     // default output above stays byte-identical.

@@ -10,7 +10,8 @@
 //! size ladders, transport-sweeping runners that also *validate every
 //! timed run against the sequential reference*, and table formatting.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 use tm_apps::{
     fft_parallel, fft_seq, jacobi_parallel, jacobi_seq, sor_parallel, sor_seq, tsp_parallel,
@@ -19,7 +20,40 @@ use tm_apps::{
 use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig, Transport};
 use tm_sim::runner::cluster_time;
 use tm_sim::{Ns, SimParams};
-use tmk::{Substrate, Tmk, TmkConfig};
+use tmk::{LayerMetrics, MetricsHandle, Substrate, Tmk, TmkConfig};
+
+/// Cross-run metrics accumulator: when a sweep binary turns
+/// instrumentation on ([`set_metrics_enabled`]), every [`run_spec_with`]
+/// run taps each node's event hook and folds the tallies in here. The
+/// hook charges no virtual time, so timed results are unchanged.
+static METRICS: Mutex<Option<LayerMetrics>> = Mutex::new(None);
+static METRICS_ON: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable per-layer event tallying for subsequent runs.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ON.store(on, Ordering::Relaxed);
+}
+
+/// Take (and clear) the accumulated metrics, if any were recorded.
+pub fn take_metrics() -> Option<LayerMetrics> {
+    METRICS.lock().unwrap().take()
+}
+
+fn with_metrics<S: Substrate, R>(tmk: &mut Tmk<S>, body: impl FnOnce(&mut Tmk<S>) -> R) -> R {
+    let handle = METRICS_ON
+        .load(Ordering::Relaxed)
+        .then(|| MetricsHandle::install(tmk));
+    let r = body(tmk);
+    if let Some(h) = handle {
+        METRICS
+            .lock()
+            .unwrap()
+            .get_or_insert_with(LayerMetrics::default)
+            .merge(&h.snapshot());
+        tmk.clear_event_hook();
+    }
+    r
+}
 
 /// What an application run returns (for validation).
 #[derive(Debug, Clone, PartialEq)]
@@ -150,11 +184,15 @@ pub fn run_spec_with(transport: Transport, n: usize, spec: &AppSpec, want: &AppR
         Transport::Fast => {
             let cfg = FastConfig::paper(&params);
             let s = spec.clone();
-            run_fast_dsm(n, params, cfg, TmkConfig::default(), move |tmk| s.body(tmk))
+            run_fast_dsm(n, params, cfg, TmkConfig::default(), move |tmk| {
+                with_metrics(tmk, |tmk| s.body(tmk))
+            })
         }
         Transport::Udp => {
             let s = spec.clone();
-            run_udp_dsm(n, params, TmkConfig::default(), move |tmk| s.body(tmk))
+            run_udp_dsm(n, params, TmkConfig::default(), move |tmk| {
+                with_metrics(tmk, |tmk| s.body(tmk))
+            })
         }
     };
     for o in &outcomes {

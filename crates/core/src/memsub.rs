@@ -203,6 +203,17 @@ impl Substrate for MemSubstrate {
         }
     }
 
+    fn poll_incoming(&mut self) -> Option<IncomingMsg> {
+        self.drain();
+        let now = self.clock.borrow().now();
+        let arrived = |q: &VecDeque<IncomingMsg>| q.front().is_some_and(|m| m.arrival <= now);
+        if arrived(&self.requests) || arrived(&self.responses) {
+            self.pop_earliest()
+        } else {
+            None
+        }
+    }
+
     fn next_incoming(&mut self) -> IncomingMsg {
         loop {
             self.drain();

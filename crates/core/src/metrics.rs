@@ -1,11 +1,15 @@
-//! Per-layer metrics sink on the [`TmkEvent`](crate::TmkEvent) hook.
+//! Per-layer metrics sink on the [`TmkEvent`] hook.
 //!
 //! [`MetricsHandle::install`] attaches a tallying hook to one node's
-//! runtime: every emitted event bumps a per-variant counter and records
-//! the virtual time at emission (first and last). Harnesses merge the
-//! per-node tallies into one [`LayerMetrics`] and print it next to
-//! `NodeStats` — this is how tree-barrier hops (`barrier_arrive_forwarded`
-//! / `barrier_release_fanned`) are observable without a debugger.
+//! runtime: every emitted event bumps a per-variant counter, records the
+//! virtual time at emission (first and last), and files the emission time
+//! into a log2-bucketed histogram — the shape of *when* a layer was busy,
+//! not just how often. Gauge-like events (the overlapped RPC engine's
+//! outstanding-request depth) additionally track their high-water mark.
+//! Harnesses merge the per-node tallies into one [`LayerMetrics`] and
+//! print it next to `NodeStats` — this is how tree-barrier hops
+//! (`barrier_arrive_forwarded` / `barrier_release_fanned`) and RPC
+//! overlap depth are observable without a debugger.
 //!
 //! The hook charges no virtual time and allocates only on the first
 //! occurrence of each variant, so installing it does not perturb results.
@@ -15,7 +19,56 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use crate::substrate::Substrate;
-use crate::tmk::Tmk;
+use crate::tmk::{Tmk, TmkEvent};
+
+/// Number of log2 buckets: bucket `i` holds values whose bit length is
+/// `i` (bucket 0 is the value zero). 44 bits of nanoseconds is ~4.8
+/// hours of virtual time — far past any simulated run.
+pub const HIST_BUCKETS: usize = 44;
+
+/// A log2-bucketed histogram of `u64` samples (virtual-time nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist {
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+}
+
+impl Log2Hist {
+    /// Bucket index for a sample: its bit length, clamped to the table.
+    pub fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+    }
+}
 
 /// Tally for one event variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +78,8 @@ pub struct EventStat {
     pub first_ns: u64,
     /// Virtual time (ns) of the last emission seen.
     pub last_ns: u64,
+    /// Log2 histogram of emission times.
+    pub hist: Log2Hist,
 }
 
 /// Per-variant event tallies, keyed by
@@ -33,7 +88,13 @@ pub struct EventStat {
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LayerMetrics {
     stats: BTreeMap<&'static str, EventStat>,
+    /// Max-tracked gauges (e.g. `outstanding_rpc_depth`).
+    gauges: BTreeMap<&'static str, u64>,
 }
+
+/// Gauge name for the overlapped RPC engine's high-water outstanding
+/// depth, fed from [`TmkEvent::RpcIssued`].
+pub const GAUGE_RPC_DEPTH: &str = "outstanding_rpc_depth";
 
 impl LayerMetrics {
     pub fn record(&mut self, kind: &'static str, now_ns: u64) {
@@ -41,10 +102,32 @@ impl LayerMetrics {
             count: 0,
             first_ns: now_ns,
             last_ns: now_ns,
+            hist: Log2Hist::default(),
         });
         e.count += 1;
         e.first_ns = e.first_ns.min(now_ns);
         e.last_ns = e.last_ns.max(now_ns);
+        e.hist.record(now_ns);
+    }
+
+    /// Record an event with its gauge side-channels: the variant tally
+    /// plus, for [`TmkEvent::RpcIssued`], the outstanding-depth high-water
+    /// mark.
+    pub fn record_event(&mut self, ev: &TmkEvent, now_ns: u64) {
+        self.record(ev.kind(), now_ns);
+        if let TmkEvent::RpcIssued { depth, .. } = ev {
+            self.gauge_max(GAUGE_RPC_DEPTH, u64::from(*depth));
+        }
+    }
+
+    /// Raise a max-tracked gauge.
+    pub fn gauge_max(&mut self, name: &'static str, v: u64) {
+        let g = self.gauges.entry(name).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.get(name).copied()
     }
 
     /// Fold another tally (typically a peer node's) into this one.
@@ -55,11 +138,15 @@ impl LayerMetrics {
                     e.count += o.count;
                     e.first_ns = e.first_ns.min(o.first_ns);
                     e.last_ns = e.last_ns.max(o.last_ns);
+                    e.hist.merge(&o.hist);
                 }
                 None => {
                     self.stats.insert(kind, *o);
                 }
             }
+        }
+        for (name, &v) in &other.gauges {
+            self.gauge_max(name, v);
         }
     }
 
@@ -68,7 +155,7 @@ impl LayerMetrics {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.stats.is_empty()
+        self.stats.is_empty() && self.gauges.is_empty()
     }
 
     /// Iterate tallies in stable (alphabetical) order.
@@ -76,17 +163,27 @@ impl LayerMetrics {
         self.stats.iter().map(|(k, v)| (*k, v))
     }
 
-    /// Render as aligned `kind count [first..last]us` lines.
+    /// Render as aligned `kind count [first..last]us` lines, each with its
+    /// emission-time histogram (`2^i:count` for non-empty log2(ns)
+    /// buckets), followed by the gauges.
     pub fn render(&self) -> String {
         let mut out = String::new();
         let width = self.stats.keys().map(|k| k.len()).max().unwrap_or(0);
         for (kind, e) in &self.stats {
             out.push_str(&format!(
-                "  {kind:width$}  x{:<8} t={:.1}..{:.1}us\n",
+                "  {kind:width$}  x{:<8} t={:.1}..{:.1}us",
                 e.count,
                 e.first_ns as f64 / 1_000.0,
                 e.last_ns as f64 / 1_000.0,
             ));
+            out.push_str("  hist(ns)");
+            for (i, c) in e.hist.nonzero() {
+                out.push_str(&format!(" 2^{i}:{c}"));
+            }
+            out.push('\n');
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("  {name:width$}  max={v}\n"));
         }
         out
     }
@@ -108,7 +205,7 @@ impl MetricsHandle {
         let clock = tmk.clock().clone();
         tmk.set_event_hook(move |ev| {
             let now = clock.borrow().now().0;
-            sink.borrow_mut().record(ev.kind(), now);
+            sink.borrow_mut().record_event(ev, now);
         });
         handle
     }
@@ -133,6 +230,7 @@ mod tests {
         assert_eq!(e.count, 3);
         assert_eq!(e.first_ns, 100);
         assert_eq!(e.last_ns, 900);
+        assert_eq!(e.hist.count(), 3);
     }
 
     #[test]
@@ -148,6 +246,7 @@ mod tests {
         assert_eq!(e.count, 3);
         assert_eq!(e.first_ns, 5);
         assert_eq!(e.last_ns, 50);
+        assert_eq!(e.hist.count(), 3);
         assert_eq!(a.get("page_fetched").unwrap().count, 1);
     }
 
@@ -160,5 +259,39 @@ mod tests {
         let a_pos = r.find("a_kind").unwrap();
         let b_pos = r.find("b_kind").unwrap();
         assert!(a_pos < b_pos, "alphabetical order");
+    }
+
+    #[test]
+    fn log2_buckets_split_by_bit_length() {
+        let mut h = Log2Hist::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1 << 20); // bucket 21
+        h.record(u64::MAX); // clamped to the last bucket
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let got: Vec<(usize, u64)> = h.nonzero().collect();
+        assert_eq!(got, vec![(0, 1), (1, 1), (2, 2), (21, 1), (43, 1)]);
+        assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn rpc_issued_feeds_depth_gauge() {
+        let mut m = LayerMetrics::default();
+        m.record_event(&TmkEvent::RpcIssued { rid: 1, depth: 1 }, 10);
+        m.record_event(&TmkEvent::RpcIssued { rid: 2, depth: 3 }, 20);
+        m.record_event(&TmkEvent::RpcIssued { rid: 3, depth: 2 }, 30);
+        assert_eq!(m.gauge(GAUGE_RPC_DEPTH), Some(3));
+        assert_eq!(m.get("rpc_issued").unwrap().count, 3);
+        let mut other = LayerMetrics::default();
+        other.record_event(&TmkEvent::RpcIssued { rid: 9, depth: 7 }, 40);
+        m.merge(&other);
+        assert_eq!(m.gauge(GAUGE_RPC_DEPTH), Some(7));
+        let r = m.render();
+        assert!(r.contains("outstanding_rpc_depth"), "gauge rendered: {r}");
     }
 }

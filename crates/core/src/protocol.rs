@@ -46,6 +46,11 @@ pub enum Request {
         vc: VectorClock,
         records: Vec<IntervalRecord>,
     },
+    /// Coalesced diff fetch: one `(page, lo, hi)` range per page, all
+    /// owed by the same writer. Merges what would otherwise be one
+    /// `Diff` request per page into a single message — the per-node
+    /// coalescing arm of the overlapped RPC engine.
+    MultiDiff { pages: Vec<(PageId, u32, u32)> },
 }
 
 /// Synchronous response bodies.
@@ -93,6 +98,27 @@ pub enum Response {
         vc: VectorClock,
         records: Vec<IntervalRecord>,
     },
+    /// Answer to a `MultiDiff`: one entry per page the responder managed
+    /// to pack under its message-size budget. Pages omitted from the
+    /// response are simply still owed — the requester's fetch loop
+    /// re-requests them.
+    MultiDiffs { pages: Vec<(PageId, PageDiffs)> },
+}
+
+/// One page's slice of a [`Response::MultiDiffs`]. Mirrors the
+/// single-page response vocabulary: diffs when the range is retained,
+/// full/zero page when GC already folded it away.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PageDiffs {
+    /// Same semantics as [`Response::Diffs`] for this page.
+    Diffs {
+        covered_hi: u32,
+        diffs: Vec<(u32, Diff)>,
+    },
+    /// GC fallback: the responder's whole stable copy.
+    Full { applied: Vec<u32>, data: Vec<u8> },
+    /// GC fallback for an all-zero page.
+    Zero { applied: Vec<u32> },
 }
 
 pub(crate) fn encode_applied(applied: &[u32], w: &mut WireWriter) {
@@ -163,6 +189,12 @@ impl Request {
                 vc.encode(w);
                 encode_records(records, w);
             }
+            Request::MultiDiff { pages } => {
+                w.u8(7).u16(pages.len() as u16);
+                for (page, lo, hi) in pages {
+                    w.u32(*page).u32(*lo).u32(*hi);
+                }
+            }
         }
     }
 
@@ -198,9 +230,66 @@ impl Request {
                 vc: VectorClock::decode(&mut r)?,
                 records: decode_records(&mut r)?,
             },
+            7 => {
+                let n = r.u16()? as usize;
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pages.push((r.u32()?, r.u32()?, r.u32()?));
+                }
+                Request::MultiDiff { pages }
+            }
             _ => return None,
         };
         Some((rid, req))
+    }
+}
+
+impl PageDiffs {
+    /// Encode one page entry (without the page id, which the caller
+    /// writes). The sub-tags reuse the single-page response tags so the
+    /// two vocabularies can't drift apart silently.
+    pub fn encode_into(&self, w: &mut WireWriter) {
+        match self {
+            PageDiffs::Diffs { covered_hi, diffs } => {
+                w.u8(1).u32(*covered_hi).u16(diffs.len() as u16);
+                for (seq, d) in diffs {
+                    w.u32(*seq);
+                    d.encode(w);
+                }
+            }
+            PageDiffs::Full { applied, data } => {
+                w.u8(2);
+                encode_applied(applied, w);
+                w.bytes(data);
+            }
+            PageDiffs::Zero { applied } => {
+                w.u8(5);
+                encode_applied(applied, w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Option<PageDiffs> {
+        Some(match r.u8()? {
+            1 => {
+                let covered_hi = r.u32()?;
+                let n = r.u16()? as usize;
+                let mut diffs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let seq = r.u32()?;
+                    diffs.push((seq, Diff::decode(r)?));
+                }
+                PageDiffs::Diffs { covered_hi, diffs }
+            }
+            2 => PageDiffs::Full {
+                applied: decode_applied(r)?,
+                data: r.bytes()?.to_vec(),
+            },
+            5 => PageDiffs::Zero {
+                applied: decode_applied(r)?,
+            },
+            _ => return None,
+        })
     }
 }
 
@@ -258,6 +347,13 @@ impl Response {
                 vc.encode(w);
                 encode_records(records, w);
             }
+            Response::MultiDiffs { pages } => {
+                w.u8(7).u16(pages.len() as u16);
+                for (page, pd) in pages {
+                    w.u32(*page);
+                    pd.encode_into(w);
+                }
+            }
         }
     }
 
@@ -303,6 +399,15 @@ impl Response {
                 vc: VectorClock::decode(&mut r)?,
                 records: decode_records(&mut r)?,
             },
+            7 => {
+                let n = r.u16()? as usize;
+                let mut pages = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let page = r.u32()?;
+                    pages.push((page, PageDiffs::decode(&mut r)?));
+                }
+                Response::MultiDiffs { pages }
+            }
             _ => return None,
         };
         Some((rid, resp))
@@ -436,6 +541,49 @@ mod tests {
             }
             other => panic!("bad decode: {other:?}"),
         }
+    }
+
+    #[test]
+    fn multi_diff_roundtrips() {
+        let req = Request::MultiDiff {
+            pages: vec![(3, 1, 4), (9, 2, 2), (12, 1, 9)],
+        };
+        let buf = req.encode(55);
+        assert_eq!(Request::decode(&buf), Some((55, req)));
+
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        cur[10] = 3;
+        let d = Diff::create(&twin, &cur);
+        let resp = Response::MultiDiffs {
+            pages: vec![
+                (
+                    3,
+                    PageDiffs::Diffs {
+                        covered_hi: 4,
+                        diffs: vec![(2, d), (4, Diff::empty())],
+                    },
+                ),
+                (
+                    9,
+                    PageDiffs::Full {
+                        applied: vec![1, 2],
+                        data: vec![7u8; 96],
+                    },
+                ),
+                (12, PageDiffs::Zero { applied: vec![0, 9] }),
+            ],
+        };
+        let buf = resp.encode(56);
+        assert_eq!(Response::decode(&buf), Some((56, resp)));
+    }
+
+    #[test]
+    fn empty_multi_diffs_roundtrips() {
+        // A responder that fit nothing under budget still answers.
+        let resp = Response::MultiDiffs { pages: vec![] };
+        let buf = resp.encode(8);
+        assert_eq!(Response::decode(&buf), Some((8, resp)));
     }
 
     #[test]

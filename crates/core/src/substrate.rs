@@ -93,6 +93,16 @@ pub trait Substrate {
     /// current virtual time, if any.
     fn poll_request(&mut self) -> Option<IncomingMsg>;
 
+    /// Non-blocking: any message — request *or* response — whose arrival
+    /// is at or before the node's current virtual time. The overlapped
+    /// rpc engine drains this after a blocking receive to gather the
+    /// whole arrived burst, then dispatches it in virtual-arrival order.
+    /// The default covers transports whose synchronous channel is only
+    /// ever read while blocked.
+    fn poll_incoming(&mut self) -> Option<IncomingMsg> {
+        self.poll_request()
+    }
+
     /// Block until any request or response arrives. Advances the clock to
     /// the message's arrival when the node was idle-waiting.
     fn next_incoming(&mut self) -> IncomingMsg;

@@ -10,14 +10,38 @@
 
 use tm_sim::Ns;
 
-use super::{Tmk, TmkEvent};
+use super::{DiffFetch, Tmk, TmkEvent};
 use crate::diff::Diff;
 use crate::interval::IntervalRecord;
 use crate::page::{Access, Page, PageId, Pending};
-use crate::protocol::{Request, Response};
+use crate::protocol::{PageDiffs, Request, Response};
 use crate::substrate::Substrate;
 use crate::vc::VectorClock;
 use crate::wire::{pool, WireWriter};
+
+/// Per-page bookkeeping for one (possibly multi-page) diff fetch.
+struct PageFetchState {
+    pid: PageId,
+    /// `(pending, diff)` pairs gathered so far, applied in causal order
+    /// once nothing is owed.
+    collected: Vec<(Pending, Diff)>,
+    /// Per-writer seq ceiling already settled by responses: pending
+    /// entries at or below it that produced no diff never wrote this
+    /// page (speculative repair ranges) and are dropped.
+    covered: Vec<(u16, u32)>,
+}
+
+/// One writer's owed intervals in a fetch round:
+/// `(writer, [(page, lo_seq, hi_seq)])`.
+type WriterNeed = (u16, Vec<(PageId, u32, u32)>);
+
+fn covered_of(covered: &[(u16, u32)], node: u16) -> u32 {
+    covered
+        .iter()
+        .find(|(n, _)| *n == node)
+        .map(|(_, h)| *h)
+        .unwrap_or(0)
+}
 
 impl<S: Substrate> Tmk<S> {
     /// Materialize page-table entries up to `upto` (exclusive).
@@ -221,6 +245,85 @@ impl<S: Substrate> Tmk<S> {
         scan + Ns::for_bytes(stable.len(), params.host.memcpy_mb_s)
     }
 
+    /// Encode a `MultiDiffs` response for a coalesced multi-page request,
+    /// page entries serialized by reference like [`Self::encode_diff_response`].
+    /// Byte-identical to encoding `Response::MultiDiffs`. Pages that do
+    /// not fit the substrate's message budget are omitted entirely — the
+    /// requester's round loop re-requests what is still owed.
+    pub(super) fn encode_multi_diff_response(
+        &self,
+        rid: u32,
+        pages: &[(PageId, u32, u32)],
+        w: &mut WireWriter,
+    ) -> Ns {
+        let params = self.sub.params();
+        let max = self.sub.max_msg();
+        w.u32(rid).u8(7);
+        let count_pos = w.reserve_u16();
+        let mut included = 0u16;
+        let mut cost = Ns::ZERO;
+        for &(pid, lo, hi) in pages {
+            if included > 0 && w.len() >= max {
+                break;
+            }
+            let budget = max.saturating_sub(w.len());
+            let page = &self.pages[pid as usize];
+            w.u32(pid);
+            match page.diffs_range(lo, hi) {
+                Some(all) => {
+                    // Chunk within the remaining budget; at least one diff
+                    // always goes out so the covered ceiling advances.
+                    let total = all.len();
+                    let mut take = 0usize;
+                    let mut sz = 16usize;
+                    for (_, d) in all {
+                        let dl = d.encoded_len() + 4;
+                        if take > 0 && sz + dl > budget {
+                            break;
+                        }
+                        sz += dl;
+                        cost += params.dsm.diff_overhead
+                            + Ns::for_bytes(d.payload_bytes(), params.host.memcpy_mb_s);
+                        take += 1;
+                    }
+                    let covered_hi = if take == total {
+                        hi
+                    } else {
+                        all[..take].last().map(|(s, _)| *s).unwrap_or(lo)
+                    };
+                    w.u8(1).u32(covered_hi).u16(take as u16);
+                    for (seq, d) in &all[..take] {
+                        w.u32(*seq);
+                        d.encode(w);
+                    }
+                }
+                None => {
+                    // Requested diffs were GC'd: inline full-page fallback.
+                    assert!(
+                        page.has_copy(),
+                        "node {} asked for page {pid} it never held",
+                        self.me
+                    );
+                    let stable = page.twin.as_deref().unwrap_or(&page.data);
+                    let scan = Ns::for_bytes(stable.len(), params.dsm.diff_scan_mb_s);
+                    if crate::diff::is_all_zero(stable) {
+                        w.u8(5);
+                        crate::protocol::encode_applied(&page.applied, w);
+                        cost += scan;
+                    } else {
+                        w.u8(2);
+                        crate::protocol::encode_applied(&page.applied, w);
+                        w.bytes(stable);
+                        cost += scan + Ns::for_bytes(stable.len(), params.host.memcpy_mb_s);
+                    }
+                }
+            }
+            included += 1;
+        }
+        w.patch_u16(count_pos, included);
+        cost
+    }
+
     // ----- faults -----------------------------------------------------------
 
     pub(super) fn ensure_readable(&mut self, pid: PageId) {
@@ -411,129 +514,280 @@ impl<S: Substrate> Tmk<S> {
 
     /// Fetch and apply every pending diff for a page, in causal order.
     fn fetch_pending_diffs(&mut self, pid: PageId) {
-        let params = self.sub.params().clone();
-        // Collect (pending, diff) pairs writer by writer. New notices can
-        // land mid-fetch (we service peers' requests while blocked), so
-        // each round re-derives what is pending but not yet collected.
-        let mut collected: Vec<(Pending, Diff)> = Vec::new();
-        // Per-writer seq ceiling already settled by responses: pending
-        // entries at or below it that produced no diff never wrote this
-        // page (speculative repair ranges) and are dropped.
-        let mut covered: Vec<(u16, u32)> = Vec::new();
-        let covered_of = |covered: &[(u16, u32)], node: u16| {
-            covered
-                .iter()
-                .find(|(n, _)| *n == node)
-                .map(|(_, h)| *h)
-                .unwrap_or(0)
-        };
+        self.fetch_diffs_batch(&[pid]);
+    }
+
+    /// Fault in a span of pages at once. Each page is charged its fault
+    /// and (if unmapped) fetched from its manager exactly as the per-page
+    /// path would, but the pending-diff fetches for the whole span share
+    /// one overlapped round: requests to distinct writers are in flight
+    /// simultaneously, and multi-page requests to one writer coalesce.
+    /// Under [`DiffFetch::Serial`] this degenerates to the per-page loop,
+    /// message for message.
+    pub(super) fn ensure_readable_batch(&mut self, pids: &[PageId]) {
+        if self.cfg.diff_fetch == DiffFetch::Serial {
+            for &pid in pids {
+                self.ensure_readable(pid);
+            }
+            return;
+        }
+        let mut faulted: Vec<PageId> = Vec::new();
+        for &pid in pids {
+            match self.pages[pid as usize].state {
+                Access::Read | Access::Write => {}
+                Access::Unmapped => {
+                    let fault = self.sub.params().dsm.page_fault;
+                    self.clock().borrow_mut().advance(fault);
+                    self.clock().borrow_mut().stats.page_faults += 1;
+                    self.fetch_page(pid);
+                    faulted.push(pid);
+                }
+                Access::Invalid | Access::WriteInvalid => {
+                    let fault = self.sub.params().dsm.page_fault;
+                    self.clock().borrow_mut().advance(fault);
+                    self.clock().borrow_mut().stats.page_faults += 1;
+                    faulted.push(pid);
+                }
+            }
+        }
+        if !faulted.is_empty() {
+            self.fetch_diffs_batch(&faulted);
+        }
+    }
+
+    /// Fetch and apply pending diffs for a set of pages.
+    ///
+    /// New notices can land mid-fetch (we service peers' requests while
+    /// blocked), so each round re-derives what is pending but not yet
+    /// collected across *all* pages, then dispatches per
+    /// [`DiffFetch`]: serially (one blocking RPC per writer per page, the
+    /// spec baseline), in parallel (issue everything, then collect), or
+    /// coalesced (at most one request per writer per round).
+    fn fetch_diffs_batch(&mut self, pids: &[PageId]) {
+        let mut states: Vec<PageFetchState> = pids
+            .iter()
+            .map(|&pid| PageFetchState {
+                pid,
+                collected: Vec::new(),
+                covered: Vec::new(),
+            })
+            .collect();
         loop {
-            let mut need: Vec<(u16, u32, u32)> = Vec::new();
-            for p in &self.pages[pid as usize].pending {
-                if p.seq <= covered_of(&covered, p.node)
-                    && !collected
+            // Owed ranges this round, grouped by writer.
+            let mut need: Vec<WriterNeed> = Vec::new();
+            for st in &states {
+                for p in &self.pages[st.pid as usize].pending {
+                    if st
+                        .collected
                         .iter()
                         .any(|(q, _)| q.node == p.node && q.seq == p.seq)
-                {
-                    // Settled as nonexistent.
-                    continue;
-                }
-                if collected
-                    .iter()
-                    .any(|(q, _)| q.node == p.node && q.seq == p.seq)
-                {
-                    continue;
-                }
-                match need.iter_mut().find(|(n, _, _)| *n == p.node) {
-                    Some((_, lo, hi)) => {
-                        *lo = (*lo).min(p.seq);
-                        *hi = (*hi).max(p.seq);
+                    {
+                        continue;
                     }
-                    None => need.push((p.node, p.seq, p.seq)),
+                    if p.seq <= covered_of(&st.covered, p.node) {
+                        // Settled as nonexistent.
+                        continue;
+                    }
+                    let pages = match need.iter_mut().position(|(n, _)| *n == p.node) {
+                        Some(i) => &mut need[i].1,
+                        None => {
+                            need.push((p.node, Vec::new()));
+                            &mut need.last_mut().expect("just pushed").1
+                        }
+                    };
+                    match pages.iter_mut().find(|(q, _, _)| *q == st.pid) {
+                        Some((_, lo, hi)) => {
+                            *lo = (*lo).min(p.seq);
+                            *hi = (*hi).max(p.seq);
+                        }
+                        None => pages.push((st.pid, p.seq, p.seq)),
+                    }
                 }
             }
             if need.is_empty() {
                 break;
             }
-            for (writer, lo, hi) in need {
-                let resp = self.rpc(
-                    writer as usize,
-                    Request::Diff {
-                        page: pid,
-                        lo,
-                        hi,
-                    },
-                );
-                match resp {
-                    Response::Diffs {
-                        page,
-                        covered_hi,
-                        diffs,
-                    } => {
-                        assert_eq!(page, pid);
-                        match covered.iter_mut().find(|(n, _)| *n == writer) {
-                            Some((_, h)) => *h = (*h).max(covered_hi),
-                            None => covered.push((writer, covered_hi)),
+            match self.cfg.diff_fetch {
+                DiffFetch::Serial => {
+                    for (writer, pages) in need {
+                        for (pid, lo, hi) in pages {
+                            let resp =
+                                self.rpc(writer as usize, Request::Diff { page: pid, lo, hi });
+                            self.handle_fetch_response(&mut states, writer, resp);
                         }
-                        for (seq, d) in diffs {
-                            let pend = self.pages[pid as usize]
-                                .pending
-                                .iter()
-                                .find(|p| p.node == writer && p.seq == seq)
-                                .cloned();
-                            match pend {
-                                Some(p) => collected.push((p, d)),
-                                None => {
-                                    // Returned but not (yet) noticed: the
-                                    // covered ceiling will advance past it,
-                                    // so it must be applied now. Its
-                                    // synthetic vector time sorts it before
-                                    // anything that causally follows it.
-                                    let mut vcv = VectorClock::new(self.n);
-                                    vcv.set(writer as usize, seq);
-                                    collected.push((
-                                        Pending {
-                                            node: writer,
-                                            seq,
-                                            vc: vcv,
-                                        },
-                                        d,
-                                    ));
-                                }
+                    }
+                }
+                DiffFetch::Parallel => {
+                    let mut issued: Vec<(u32, u16)> = Vec::new();
+                    for (writer, pages) in &need {
+                        for &(pid, lo, hi) in pages {
+                            let rid = self
+                                .rpc_issue(*writer as usize, Request::Diff { page: pid, lo, hi });
+                            issued.push((rid, *writer));
+                        }
+                    }
+                    self.note_fanout(need.len(), issued.len());
+                    for (rid, writer) in issued {
+                        let resp = self.rpc_collect(rid);
+                        self.handle_fetch_response(&mut states, writer, resp);
+                    }
+                }
+                DiffFetch::Coalesced => {
+                    let mut issued: Vec<(u32, u16)> = Vec::new();
+                    for (writer, pages) in &need {
+                        let req = if pages.len() == 1 {
+                            let (pid, lo, hi) = pages[0];
+                            Request::Diff { page: pid, lo, hi }
+                        } else {
+                            Request::MultiDiff {
+                                pages: pages.clone(),
                             }
-                        }
+                        };
+                        issued.push((self.rpc_issue(*writer as usize, req), *writer));
                     }
-                    Response::ZeroPage { page, applied } => {
-                        assert_eq!(page, pid);
-                        let zeros = vec![0u8; self.page_size];
-                        self.adopt_full_page(pid, applied, zeros);
-                        self.clock().borrow_mut().stats.pages_fetched += 1;
-                        self.emit(TmkEvent::PageFetched { page: pid });
-                        collected.retain(|(p, _)| {
-                            self.pages[pid as usize]
-                                .pending
-                                .iter()
-                                .any(|q| q.node == p.node && q.seq == p.seq)
-                        });
+                    self.note_fanout(need.len(), issued.len());
+                    for (rid, writer) in issued {
+                        let resp = self.rpc_collect(rid);
+                        self.handle_fetch_response(&mut states, writer, resp);
                     }
-                    Response::FullPage { page, applied, data } => {
-                        assert_eq!(page, pid);
-                        // GC fallback: adopt, then continue with whatever
-                        // is still pending.
-                        self.adopt_full_page(pid, applied, data);
-                        self.clock().borrow_mut().stats.pages_fetched += 1;
-                        self.emit(TmkEvent::PageFetched { page: pid });
-                        collected.retain(|(p, _)| {
-                            self.pages[pid as usize]
-                                .pending
-                                .iter()
-                                .any(|q| q.node == p.node && q.seq == p.seq)
-                        });
-                    }
-                    other => panic!("expected Diffs/FullPage, got {other:?}"),
                 }
             }
         }
+        for st in states {
+            self.apply_fetched_page(st);
+        }
+    }
+
+    fn note_fanout(&mut self, writers: usize, requests: usize) {
+        if requests > 1 {
+            self.emit(TmkEvent::DiffFanout {
+                writers: writers as u16,
+                requests: requests as u16,
+            });
+        }
+    }
+
+    /// Fold one diff-fetch response into the per-page fetch states.
+    fn handle_fetch_response(
+        &mut self,
+        states: &mut [PageFetchState],
+        writer: u16,
+        resp: Response,
+    ) {
+        match resp {
+            Response::Diffs {
+                page,
+                covered_hi,
+                diffs,
+            } => {
+                let st = states
+                    .iter_mut()
+                    .find(|s| s.pid == page)
+                    .expect("diffs for a page we did not request");
+                self.absorb_page_diffs(st, writer, covered_hi, diffs);
+            }
+            Response::MultiDiffs { pages } => {
+                for (page, pd) in pages {
+                    match pd {
+                        PageDiffs::Diffs { covered_hi, diffs } => {
+                            let st = states
+                                .iter_mut()
+                                .find(|s| s.pid == page)
+                                .expect("diffs for a page we did not request");
+                            self.absorb_page_diffs(st, writer, covered_hi, diffs);
+                        }
+                        PageDiffs::Full { applied, data } => {
+                            self.adopt_fetched_full(states, page, applied, data);
+                        }
+                        PageDiffs::Zero { applied } => {
+                            let zeros = vec![0u8; self.page_size];
+                            self.adopt_fetched_full(states, page, applied, zeros);
+                        }
+                    }
+                }
+            }
+            Response::ZeroPage { page, applied } => {
+                let zeros = vec![0u8; self.page_size];
+                self.adopt_fetched_full(states, page, applied, zeros);
+            }
+            Response::FullPage { page, applied, data } => {
+                // GC fallback: adopt, then continue with whatever is
+                // still pending.
+                self.adopt_fetched_full(states, page, applied, data);
+            }
+            other => panic!("expected Diffs/FullPage, got {other:?}"),
+        }
+    }
+
+    /// Record a writer's `Diffs` payload for one page: advance the covered
+    /// ceiling and stash the diffs against their pending notices.
+    fn absorb_page_diffs(
+        &mut self,
+        st: &mut PageFetchState,
+        writer: u16,
+        covered_hi: u32,
+        diffs: Vec<(u32, Diff)>,
+    ) {
+        match st.covered.iter_mut().find(|(n, _)| *n == writer) {
+            Some((_, h)) => *h = (*h).max(covered_hi),
+            None => st.covered.push((writer, covered_hi)),
+        }
+        for (seq, d) in diffs {
+            let pend = self.pages[st.pid as usize]
+                .pending
+                .iter()
+                .find(|p| p.node == writer && p.seq == seq)
+                .cloned();
+            match pend {
+                Some(p) => st.collected.push((p, d)),
+                None => {
+                    // Returned but not (yet) noticed: the covered ceiling
+                    // will advance past it, so it must be applied now. Its
+                    // synthetic vector time sorts it before anything that
+                    // causally follows it.
+                    let mut vcv = VectorClock::new(self.n);
+                    vcv.set(writer as usize, seq);
+                    st.collected.push((
+                        Pending {
+                            node: writer,
+                            seq,
+                            vc: vcv,
+                        },
+                        d,
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Adopt a full-page response received mid-fetch and drop collected
+    /// diffs the adoption already settled.
+    fn adopt_fetched_full(
+        &mut self,
+        states: &mut [PageFetchState],
+        pid: PageId,
+        applied: Vec<u32>,
+        data: Vec<u8>,
+    ) {
+        self.adopt_full_page(pid, applied, data);
+        self.clock().borrow_mut().stats.pages_fetched += 1;
+        self.emit(TmkEvent::PageFetched { page: pid });
+        if let Some(st) = states.iter_mut().find(|s| s.pid == pid) {
+            let pending = &self.pages[pid as usize].pending;
+            st.collected
+                .retain(|(p, _)| pending.iter().any(|q| q.node == p.node && q.seq == p.seq));
+        }
+    }
+
+    /// Apply one page's collected diffs in causal order and finish the
+    /// fault (mprotect, state transition).
+    fn apply_fetched_page(&mut self, st: PageFetchState) {
+        let params = self.sub.params().clone();
+        let PageFetchState {
+            pid,
+            mut collected,
+            covered,
+        } = st;
         // Causal sort: repeatedly take a minimal element (nothing else
         // happens-before it).
         let mut ordered: Vec<(Pending, Diff)> = Vec::with_capacity(collected.len());

@@ -54,7 +54,7 @@ mod rpc;
 mod shmem;
 mod sync;
 
-use rpc::ReplayCache;
+use rpc::{OutstandingRpc, QueuedRequest, ReplayCache};
 use shmem::RegionInfo;
 use sync::{BarrierEpisode, LockState};
 
@@ -83,6 +83,23 @@ pub enum BarrierAlgo {
     NicTree { radix: u16 },
 }
 
+/// How the coherence layer moves pending diffs at a page fault — the
+/// overlapped-RPC-engine knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffFetch {
+    /// One blocking rpc per last-writer, strictly in order — the
+    /// TreadMarks specification baseline. A k-writer fault costs the sum
+    /// of the k round trips.
+    Serial,
+    /// Issue every per-writer `Diff` request up front, then collect the
+    /// responses; the fault costs ~max(RTT) instead of the sum.
+    Parallel,
+    /// Like `Parallel`, and additionally merge all pages owed by one
+    /// writer into a single `MultiDiff` message — fewer messages, which
+    /// is where FAST/GM's fixed per-message costs bite.
+    Coalesced,
+}
+
 /// Runtime tunables.
 #[derive(Debug, Clone)]
 pub struct TmkConfig {
@@ -92,6 +109,8 @@ pub struct TmkConfig {
     pub barrier_manager: u16,
     /// How barrier arrivals are combined and releases fanned out.
     pub barrier_algo: BarrierAlgo,
+    /// How pending diffs are fetched at a page fault.
+    pub diff_fetch: DiffFetch,
 }
 
 impl Default for TmkConfig {
@@ -100,6 +119,7 @@ impl Default for TmkConfig {
             diff_keep: 256,
             barrier_manager: 0,
             barrier_algo: BarrierAlgo::Centralized,
+            diff_fetch: DiffFetch::Coalesced,
         }
     }
 }
@@ -129,6 +149,14 @@ pub enum TmkEvent {
     /// Tree barrier: the root or an interior node fanned the release down
     /// to `children` tree children.
     BarrierReleaseFanned { barrier: u32, children: u16 },
+    /// The rpc layer registered a new outstanding request; `depth` is the
+    /// number of rids in flight *including* this one (the
+    /// outstanding-rpc depth gauge reads its maximum).
+    RpcIssued { rid: u32, depth: u32 },
+    /// The coherence layer fanned `requests` concurrent diff fetches to
+    /// `writers` distinct nodes in one round (parallel/coalesced engines
+    /// only; a serial fetch never emits this).
+    DiffFanout { writers: u16, requests: u16 },
 }
 
 impl TmkEvent {
@@ -143,6 +171,8 @@ impl TmkEvent {
             TmkEvent::RetransmitFired { .. } => "retransmit_fired",
             TmkEvent::BarrierArriveForwarded { .. } => "barrier_arrive_forwarded",
             TmkEvent::BarrierReleaseFanned { .. } => "barrier_release_fanned",
+            TmkEvent::RpcIssued { .. } => "rpc_issued",
+            TmkEvent::DiffFanout { .. } => "diff_fanout",
         }
     }
 }
@@ -162,6 +192,14 @@ pub struct Tmk<S: Substrate> {
     /// replay-cache entry at the response site. `None` on reliable
     /// transports.
     serving: Option<(usize, u32)>,
+    /// Issued-but-uncollected rpcs: the overlapped engine's pending-
+    /// response table. Responses are matched against the whole set, so
+    /// any number of rids can be in flight at once.
+    outstanding: Vec<OutstandingRpc>,
+    /// Requests received while collecting responses, deferred to the
+    /// async serve queue and dispatched in virtual-arrival order instead
+    /// of re-entrantly mid-collect.
+    serve_q: Vec<QueuedRequest>,
     // coherence layer --------------------------------------------------
     vc: VectorClock,
     log: IntervalLog,
@@ -210,6 +248,8 @@ impl<S: Substrate> Tmk<S> {
             page_size,
             replay: ReplayCache::new(),
             serving: None,
+            outstanding: Vec::new(),
+            serve_q: Vec::new(),
             event_hook: None,
         }
     }

@@ -1,14 +1,18 @@
 //! Request/response plumbing: the bottom layer of the runtime.
 //!
-//! Owns rid allocation, the blocking `rpc` discipline (serve peers'
-//! requests while waiting for our response — the TreadMarks SIGIO
-//! discipline), DSM-level reliability on lossy transports (virtual-time
-//! retransmission timer with exponential backoff, the bounded
-//! `(from, rid)` [`ReplayCache`], stale-response discard), the `serve`
-//! dispatcher that fans incoming requests out to the coherence and sync
-//! layers, and the shutdown linger. This layer talks only to the
-//! [`Substrate`]; it never inspects protocol payloads beyond the
-//! request/response envelope.
+//! Owns rid allocation, the **overlapped rpc engine** —
+//! [`Tmk::rpc_issue`] registers a pending-response slot and sends;
+//! [`Tmk::rpc_collect`] drains the substrate, matches out-of-order
+//! responses against the whole outstanding-rid set, and defers incoming
+//! requests to an async serve queue drained in virtual-arrival order
+//! (the TreadMarks SIGIO discipline, minus the re-entrant dispatch) —
+//! DSM-level reliability on lossy transports (per-rid virtual-time
+//! retransmission timers with exponential backoff, the bounded
+//! `(from, rid)` [`ReplayCache`], stale-response discard keyed on the
+//! outstanding set), the `serve` dispatcher that fans incoming requests
+//! out to the coherence and sync layers, and the shutdown linger. This
+//! layer talks only to the [`Substrate`]; it never inspects protocol
+//! payloads beyond the request/response envelope.
 
 use std::collections::VecDeque;
 
@@ -16,8 +20,44 @@ use tm_sim::Ns;
 
 use super::{Tmk, TmkEvent};
 use crate::protocol::{Request, Response};
-use crate::substrate::{Chan, Substrate};
+use crate::substrate::{Chan, IncomingMsg, Substrate};
 use crate::wire::{pool, WireWriter};
+
+/// One issued-but-uncollected rpc: the pending-response slot
+/// [`Tmk::rpc_issue`] registers and [`Tmk::rpc_collect`] resolves.
+///
+/// Rid lifecycle: *issued* (slot pushed, frame sent) → *answered*
+/// (`response` filled by the collector's absorb loop, possibly while
+/// collecting a different rid) → *collected* (slot removed, frame
+/// returned to the pool). On lossy transports an issued slot also cycles
+/// through *retransmitting* whenever its per-rid deadline passes.
+#[derive(Debug)]
+pub(super) struct OutstandingRpc {
+    rid: u32,
+    to: usize,
+    /// The encoded request, kept for retransmission. Empty on reliable
+    /// transports (they never resend).
+    frame: Vec<u8>,
+    /// Current (backed-off) retransmission timeout. Unused on reliable
+    /// transports.
+    rto: Ns,
+    /// Virtual-time deadline of the next retransmission. When the
+    /// transport reports the send dropped on the way out, this deadline
+    /// is simply the earliest useful resend time — the collect loop's
+    /// bounded wait covers both cases.
+    deadline: Ns,
+    attempts: u32,
+    response: Option<Response>,
+}
+
+/// A request deferred to the async serve queue: received mid-collect and
+/// dispatched later in virtual-arrival order.
+#[derive(Debug)]
+pub(super) struct QueuedRequest {
+    from: usize,
+    data: Vec<u8>,
+    arrival: Ns,
+}
 
 /// What to do when a duplicate of an already-seen request arrives
 /// (lossy transports retransmit; handlers must stay idempotent).
@@ -130,6 +170,13 @@ impl<S: Substrate> Tmk<S> {
                 // never materialized as an owned Response.
                 let mut w = WireWriter::pooled(256);
                 let c = self.encode_diff_response(rid, page, lo, hi, &mut w);
+                self.respond_wire(from, w, arrival, cost + c);
+            }
+            Request::MultiDiff { pages } => {
+                let maxp = pages.iter().map(|&(p, _, _)| p).max().unwrap_or(0);
+                self.ensure_pages(maxp as usize + 1);
+                let mut w = WireWriter::pooled(1024);
+                let c = self.encode_multi_diff_response(rid, &pages, &mut w);
                 self.respond_wire(from, w, arrival, cost + c);
             }
             Request::Page { page } => {
@@ -269,125 +316,252 @@ impl<S: Substrate> Tmk<S> {
         }
     }
 
-    // ----- synchronous RPC --------------------------------------------------
+    // ----- the overlapped rpc engine ----------------------------------------
 
     /// Send a request and block for its response, servicing peers'
-    /// requests while waiting (the TreadMarks SIGIO discipline).
+    /// requests while waiting (the TreadMarks SIGIO discipline). A plain
+    /// issue + collect; overlap-aware callers split the two.
     pub(super) fn rpc(&mut self, to: usize, req: Request) -> Response {
+        let rid = self.rpc_issue(to, req);
+        self.rpc_collect(rid)
+    }
+
+    /// Legacy entry for callers that pre-chose the rid (acquire's
+    /// manager-forwarding path): issue the already-encoded frame, then
+    /// block for its response.
+    pub(super) fn rpc_encoded(&mut self, to: usize, rid: u32, w: WireWriter) -> Response {
+        self.rpc_issue_encoded(to, rid, w);
+        self.rpc_collect(rid)
+    }
+
+    /// Allocate a rid, register its pending-response slot and send the
+    /// request — without blocking. Any number of rids may be outstanding;
+    /// each is collected exactly once via [`Self::rpc_collect`].
+    pub(super) fn rpc_issue(&mut self, to: usize, req: Request) -> u32 {
         let rid = self.rid();
         trace!(self, "rpc to={to} rid={rid} req={req:?}");
         let mut w = WireWriter::pooled(64);
         req.encode_into(rid, &mut w);
-        self.rpc_encoded(to, rid, w)
+        self.rpc_issue_encoded(to, rid, w);
+        rid
     }
 
-    /// The rpc body proper, for callers that pre-chose the rid (acquire's
-    /// manager-forwarding path). Consumes and recycles the frame.
-    ///
-    /// Reliable transports (`retransmit_timeout() == None`) use the plain
-    /// send-once loop. Lossy ones get DSM-level reliability: a virtual-time
-    /// retransmission timer with exponential backoff, resending under the
-    /// *same* rid (the responder's replay cache makes duplicates
-    /// idempotent), plus stale-response and tombstone handling.
-    pub(super) fn rpc_encoded(&mut self, to: usize, rid: u32, w: WireWriter) -> Response {
-        let Some(rto0) = self.sub.retransmit_timeout() else {
-            self.sub.send_request(to, w.as_slice());
-            w.recycle();
-            self.clock().borrow_mut().begin_wait();
-            loop {
-                let msg = self.sub.next_incoming();
-                match msg.chan {
-                    Chan::Response => {
-                        let (got_rid, resp) =
-                            Response::decode(&msg.data).expect("malformed response");
-                        assert_eq!(
-                            got_rid, rid,
-                            "node {}: response correlation mismatch",
-                            self.me
-                        );
-                        pool::give(msg.data);
-                        return resp;
-                    }
-                    Chan::Request => {
-                        self.serve(msg.from, &msg.data, msg.arrival);
-                        pool::give(msg.data);
-                        self.clock().borrow_mut().begin_wait();
-                    }
-                }
+    /// [`Self::rpc_issue`] for an already-encoded frame. Consumes the
+    /// writer: on lossy transports the frame is retained for per-rid
+    /// retransmission, on reliable ones it goes straight back to the pool.
+    pub(super) fn rpc_issue_encoded(&mut self, to: usize, rid: u32, w: WireWriter) {
+        self.sub.send_request(to, w.as_slice());
+        let (frame, rto, deadline) = match self.sub.retransmit_timeout() {
+            Some(rto0) => {
+                let now = self.clock().borrow().now();
+                (w.finish(), rto0, now + rto0)
+            }
+            None => {
+                w.recycle();
+                (Vec::new(), Ns::ZERO, Ns::ZERO)
             }
         };
-        let cap = self.sub.params().udp.rto_retries;
-        let mut rto = rto0;
-        let mut attempts = 0u32;
-        // `sent == false`: the transport knows the datagram was dropped on
-        // the way out — skip the futile wait and retransmit at the deadline.
-        let mut sent = self.sub.send_request(to, w.as_slice());
-        self.clock().borrow_mut().begin_wait();
-        let mut deadline = self.clock().borrow().now() + rto;
-        macro_rules! retransmit {
-            () => {{
-                attempts += 1;
-                assert!(
-                    attempts <= cap,
-                    "node {}: rid {rid} to {to}: gave up after {cap} retransmissions",
-                    self.me
-                );
-                self.clock().borrow_mut().stats.retransmits += 1;
-                self.emit(TmkEvent::RetransmitFired { rid, attempt: attempts });
-                rto = rto * 2;
-                sent = self.sub.send_request(to, w.as_slice());
-                self.clock().borrow_mut().begin_wait();
-                deadline = self.clock().borrow().now() + rto;
-            }};
-        }
+        self.outstanding.push(OutstandingRpc {
+            rid,
+            to,
+            frame,
+            rto,
+            deadline,
+            attempts: 0,
+            response: None,
+        });
+        let depth = self.outstanding.len() as u32;
+        self.emit(TmkEvent::RpcIssued { rid, depth });
+    }
+
+    /// Block until the response for `rid` is in, absorbing whatever else
+    /// the substrate delivers meanwhile: responses for *other* outstanding
+    /// rids are parked in their slots, requests go to the async serve
+    /// queue and are dispatched in virtual-arrival order between waits.
+    pub(super) fn rpc_collect(&mut self, rid: u32) -> Response {
+        debug_assert!(
+            self.outstanding.iter().any(|o| o.rid == rid),
+            "node {}: collect of unissued rid {rid}",
+            self.me
+        );
+        let lossy = self.sub.retransmit_timeout().is_some();
         loop {
-            if !sent {
-                self.clock().borrow_mut().wait_until(deadline);
-                retransmit!();
-                continue;
+            if let Some(resp) = self.take_collected(rid) {
+                return resp;
             }
-            match self.sub.next_incoming_until(deadline) {
-                None => retransmit!(),
-                Some(msg) if msg.lost => {
-                    if msg.chan == Chan::Response {
-                        // Our (likely) response died in flight: no point
-                        // sitting out the rest of the timer.
-                        retransmit!();
+            self.drain_serve_queue();
+            self.clock().borrow_mut().begin_wait();
+            if lossy {
+                let deadline = self
+                    .nearest_deadline()
+                    .expect("collecting with no unanswered rid");
+                match self.sub.next_incoming_until(deadline) {
+                    None => self.retransmit_due(),
+                    Some(msg) => self.absorb(msg),
+                }
+            } else {
+                let msg = self.sub.next_incoming();
+                self.absorb(msg);
+            }
+        }
+    }
+
+    /// Remove `rid`'s slot if its response has arrived, recycling the
+    /// retained retransmission frame.
+    fn take_collected(&mut self, rid: u32) -> Option<Response> {
+        let i = self
+            .outstanding
+            .iter()
+            .position(|o| o.rid == rid && o.response.is_some())?;
+        let slot = self.outstanding.swap_remove(i);
+        if !slot.frame.is_empty() {
+            pool::give(slot.frame);
+        }
+        slot.response
+    }
+
+    /// Earliest retransmission deadline over unanswered slots.
+    fn nearest_deadline(&self) -> Option<Ns> {
+        self.outstanding
+            .iter()
+            .filter(|o| o.response.is_none())
+            .map(|o| o.deadline)
+            .min()
+    }
+
+    /// Classify one delivered message: responses are matched against the
+    /// whole outstanding-rid set, requests are deferred to the serve
+    /// queue (together with any burst that arrived behind them), loss
+    /// tombstones trigger targeted retransmission.
+    pub(super) fn absorb(&mut self, msg: IncomingMsg) {
+        if msg.lost {
+            if msg.chan == Chan::Response {
+                // A response from that peer died in flight: retransmit
+                // what we still owe it instead of sitting out the timers.
+                self.retransmit_to(msg.from);
+            }
+            // Lost requests are the sender's problem — its timer
+            // re-delivers.
+            pool::give(msg.data);
+            return;
+        }
+        match msg.chan {
+            Chan::Response => self.absorb_response(msg),
+            Chan::Request => {
+                self.queue_request(msg);
+                // Pull in everything else that already arrived so the
+                // next drain dispatches the burst in virtual-arrival
+                // order rather than substrate pop order.
+                while let Some(m) = self.sub.poll_incoming() {
+                    if m.lost {
+                        pool::give(m.data);
+                    } else if m.chan == Chan::Request {
+                        self.queue_request(m);
                     } else {
-                        self.clock().borrow_mut().begin_wait();
+                        self.absorb_response(m);
                     }
                 }
-                Some(msg) => match msg.chan {
-                    Chan::Response => {
-                        let Some((got_rid, resp)) = Response::decode(&msg.data) else {
-                            self.clock().borrow_mut().stats.malformed_dropped += 1;
-                            pool::give(msg.data);
-                            self.clock().borrow_mut().begin_wait();
-                            continue;
-                        };
-                        if got_rid == rid {
-                            pool::give(msg.data);
-                            w.recycle();
-                            return resp;
-                        }
-                        assert!(
-                            got_rid < rid,
-                            "node {}: response from the future (rid {got_rid} > {rid})",
-                            self.me
-                        );
-                        // Duplicate answer to an rpc we already completed
-                        // (a retransmission crossed its response).
-                        self.clock().borrow_mut().stats.stale_responses_dropped += 1;
-                        pool::give(msg.data);
-                        self.clock().borrow_mut().begin_wait();
-                    }
-                    Chan::Request => {
-                        self.serve(msg.from, &msg.data, msg.arrival);
-                        pool::give(msg.data);
-                        self.clock().borrow_mut().begin_wait();
-                    }
-                },
             }
+        }
+    }
+
+    fn queue_request(&mut self, msg: IncomingMsg) {
+        self.serve_q.push(QueuedRequest {
+            from: msg.from,
+            data: msg.data,
+            arrival: msg.arrival,
+        });
+    }
+
+    /// File a response into its outstanding slot, or discard it as stale.
+    /// The discard keys on the *full* outstanding set: a late duplicate
+    /// for rid A must never be mistaken for rid B's answer just because B
+    /// is the one currently being collected.
+    fn absorb_response(&mut self, msg: IncomingMsg) {
+        let lossy = self.sub.retransmit_timeout().is_some();
+        let Some((rid, resp)) = Response::decode(&msg.data) else {
+            assert!(lossy, "node {}: malformed response", self.me);
+            self.clock().borrow_mut().stats.malformed_dropped += 1;
+            pool::give(msg.data);
+            return;
+        };
+        pool::give(msg.data);
+        assert!(
+            rid < self.next_rid,
+            "node {}: response from the future (rid {rid})",
+            self.me
+        );
+        match self.outstanding.iter().position(|o| o.rid == rid) {
+            Some(i) if self.outstanding[i].response.is_none() => {
+                trace!(self, "collect rid={rid} resp={resp:?}");
+                self.outstanding[i].response = Some(resp);
+            }
+            Some(_) => {
+                // Duplicate answer to a slot already filled (a
+                // retransmission crossed its first response).
+                assert!(lossy, "node {}: duplicate response for rid {rid}", self.me);
+                self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+            }
+            None => {
+                // Answer to an rpc we already collected.
+                assert!(lossy, "node {}: unexpected response for rid {rid}", self.me);
+                self.clock().borrow_mut().stats.stale_responses_dropped += 1;
+            }
+        }
+    }
+
+    /// Dispatch every queued request, earliest virtual arrival first.
+    /// Handlers never call back into the collect loop (they respond via
+    /// service windows), so draining between waits cannot recurse.
+    pub(super) fn drain_serve_queue(&mut self) {
+        while !self.serve_q.is_empty() {
+            let mut pick = 0;
+            for i in 1..self.serve_q.len() {
+                if self.serve_q[i].arrival < self.serve_q[pick].arrival {
+                    pick = i;
+                }
+            }
+            let q = self.serve_q.remove(pick);
+            self.serve(q.from, &q.data, q.arrival);
+            pool::give(q.data);
+        }
+    }
+
+    /// Retransmit every unanswered slot whose deadline has passed.
+    fn retransmit_due(&mut self) {
+        let now = self.clock().borrow().now();
+        self.retransmit_where(|o| o.deadline <= now);
+    }
+
+    /// Retransmit every unanswered slot addressed to `to` (its response
+    /// was observed lost — no point sitting out the rest of the timer).
+    fn retransmit_to(&mut self, to: usize) {
+        self.retransmit_where(|o| o.to == to);
+    }
+
+    fn retransmit_where(&mut self, pred: impl Fn(&OutstandingRpc) -> bool) {
+        let cap = self.sub.params().udp.rto_retries;
+        for i in 0..self.outstanding.len() {
+            if self.outstanding[i].response.is_some() || !pred(&self.outstanding[i]) {
+                continue;
+            }
+            let (rid, to) = (self.outstanding[i].rid, self.outstanding[i].to);
+            self.outstanding[i].attempts += 1;
+            let attempt = self.outstanding[i].attempts;
+            assert!(
+                attempt <= cap,
+                "node {}: rid {rid} to {to}: gave up after {cap} retransmissions",
+                self.me
+            );
+            self.clock().borrow_mut().stats.retransmits += 1;
+            self.emit(TmkEvent::RetransmitFired { rid, attempt });
+            let frame = std::mem::take(&mut self.outstanding[i].frame);
+            self.sub.send_request(to, &frame);
+            let now = self.clock().borrow().now();
+            let slot = &mut self.outstanding[i];
+            slot.frame = frame;
+            slot.rto = slot.rto * 2;
+            slot.deadline = now + slot.rto;
         }
     }
 
@@ -396,15 +570,20 @@ impl<S: Substrate> Tmk<S> {
     /// starts at the request's arrival, preempting retroactively).
     pub fn poll_serve(&mut self) {
         while let Some(msg) = self.sub.poll_request() {
-            self.serve(msg.from, &msg.data, msg.arrival);
-            pool::give(msg.data);
+            if msg.lost {
+                pool::give(msg.data);
+                continue;
+            }
+            self.queue_request(msg);
         }
+        self.drain_serve_queue();
     }
 
     /// Lossy-transport shutdown linger: keep answering retransmitted
     /// requests from the replay cache until every peer's NIC has left the
     /// fabric (a client whose final release was lost depends on it).
     pub(super) fn shutdown_linger(&mut self) {
+        self.drain_serve_queue();
         loop {
             match self.sub.shutdown_poll() {
                 crate::substrate::ShutdownPoll::Done => break,
@@ -419,6 +598,7 @@ impl<S: Substrate> Tmk<S> {
     /// regardless of peers elsewhere in the tree — lingering on the whole
     /// cluster would deadlock parent against lingering ancestor.
     pub(super) fn shutdown_linger_watching(&mut self, watch: &[usize]) {
+        self.drain_serve_queue();
         loop {
             match self.sub.shutdown_poll_watching(watch) {
                 crate::substrate::ShutdownPoll::Done => break,

@@ -73,6 +73,14 @@ impl<S: Substrate> Tmk<S> {
         let r = &self.regions[id.0];
         assert!(off + out.len() <= r.len, "read beyond region");
         let start_page = r.start_page;
+        let first = (start_page + off / self.page_size) as PageId;
+        let last = (start_page + (off + out.len() - 1) / self.page_size) as PageId;
+        if last > first {
+            // Multi-page read: fault the whole span in one overlapped
+            // batch so diff fetches to distinct writers fly together.
+            let pids: Vec<PageId> = (first..=last).collect();
+            self.ensure_readable_batch(&pids);
+        }
         let mut done = 0;
         while done < out.len() {
             let abs = off + done;

@@ -29,9 +29,9 @@ use tm_sim::Ns;
 use super::{Tmk, TmkEvent};
 use crate::interval::IntervalRecord;
 use crate::protocol::{Request, Response};
-use crate::substrate::{Chan, Substrate};
+use crate::substrate::Substrate;
 use crate::vc::VectorClock;
-use crate::wire::{pool, WireWriter};
+use crate::wire::WireWriter;
 
 pub(super) struct LockState {
     /// Manager's record of who holds (or will next hold) the token.
@@ -503,34 +503,25 @@ impl<S: Substrate> Tmk<S> {
     }
 
     /// Serve-while-waiting until `expected` arrivals (ours included) are
-    /// in the episode. Requests keep being dispatched — lock traffic and
-    /// late subtree arrivals must make progress while we wait.
+    /// in the episode. Runs on the overlapped engine's absorb/drain step:
+    /// requests keep being dispatched (in virtual-arrival order) — lock
+    /// traffic and late subtree arrivals must make progress while we
+    /// wait. No rid is outstanding here, so any non-duplicate response is
+    /// a protocol error (the engine's stale discard panics on reliable
+    /// transports and counts on lossy ones).
     fn barrier_wait_arrivals(&mut self, expected: usize) {
-        self.clock().borrow_mut().begin_wait();
-        while self.barrier.count < expected {
+        loop {
+            // Drain before checking: an arrival may already sit in the
+            // serve queue, gathered during a preceding collect (blocking
+            // with it queued would deadlock — its sender is waiting on
+            // us).
+            self.drain_serve_queue();
+            if self.barrier.count >= expected {
+                break;
+            }
+            self.clock().borrow_mut().begin_wait();
             let msg = self.sub.next_incoming();
-            if msg.lost {
-                // A peer's arrival (or a stray duplicate) died in flight;
-                // the sender's retransmission timer will re-deliver it.
-                pool::give(msg.data);
-                self.clock().borrow_mut().begin_wait();
-                continue;
-            }
-            match msg.chan {
-                Chan::Request => {
-                    self.serve(msg.from, &msg.data, msg.arrival);
-                    pool::give(msg.data);
-                    self.clock().borrow_mut().begin_wait();
-                }
-                Chan::Response if self.sub.retransmit_timeout().is_some() => {
-                    // A duplicate answer to an rpc we completed before the
-                    // barrier (a retransmission crossed its response).
-                    self.clock().borrow_mut().stats.stale_responses_dropped += 1;
-                    pool::give(msg.data);
-                    self.clock().borrow_mut().begin_wait();
-                }
-                Chan::Response => panic!("got a response inside barrier wait"),
-            }
+            self.absorb(msg);
         }
     }
 

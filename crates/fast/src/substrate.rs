@@ -555,6 +555,18 @@ impl Substrate for FastSubstrate {
         }
     }
 
+    fn poll_incoming(&mut self) -> Option<IncomingMsg> {
+        for port in [REP_PORT, REQ_PORT] {
+            // Internal frames are consumed silently; keep polling.
+            while let Some(ev) = self.gm.receive(port).expect("poll port") {
+                if let Some(msg) = self.handle_event(port, ev) {
+                    return Some(msg);
+                }
+            }
+        }
+        None
+    }
+
     fn next_incoming(&mut self) -> IncomingMsg {
         loop {
             let (port, ev) = self.gm.blocking_receive(&[REQ_PORT, REP_PORT]);

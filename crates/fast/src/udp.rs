@@ -228,6 +228,20 @@ impl Substrate for UdpSubstrate {
         None
     }
 
+    fn poll_incoming(&mut self) -> Option<IncomingMsg> {
+        // Drain responses first (their socket never interrupts); the
+        // engine re-sorts requests by arrival anyway, and responses file
+        // into rid slots where pop order is immaterial.
+        for sock in [REP_SOCK, REQ_SOCK] {
+            while let Some(d) = self.udp.try_recvfrom(sock) {
+                if let Some(msg) = self.handle(sock, d) {
+                    return Some(msg);
+                }
+            }
+        }
+        None
+    }
+
     fn next_incoming(&mut self) -> IncomingMsg {
         loop {
             let (sock, d) = self.udp.recv_any(&[REQ_SOCK, REP_SOCK]);
