@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use tm_fast::{run_fast_dsm, FastConfig};
-use tm_sim::SimParams;
+
 use tmk::{DiffFetch, Substrate, Tmk, TmkConfig};
 
 const PAGES: usize = 64;
@@ -67,7 +67,11 @@ fn storm_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
 }
 
 fn run(writers: usize, engine: DiffFetch) -> u64 {
-    let params = Arc::new(SimParams::paper_testbed());
+    // `E2_SCHED=lockstep` runs the storm under the conservative lockstep
+    // scheduler (byte-reproducible; see `tm_sim::sched`); `bench_lockstep`
+    // measures the wall-clock price of that determinism on this same
+    // storm.
+    let params = Arc::new(tm_bench::bench_testbed());
     let cfg = FastConfig::paper(&params);
     let tcfg = TmkConfig {
         diff_fetch: engine,

@@ -36,8 +36,12 @@ fn fault_plan() -> FaultPlan {
     plan
 }
 
+/// Paper testbed + the fault plan, under the scheduler regime picked by
+/// `E2_SCHED` (`freerun` | `lockstep`, see [`tm_bench::sched_mode`]).
+/// Under `lockstep` two invocations of this binary produce byte-identical
+/// stdout for every row, Barrier and Lock (indirect) included.
 fn bench_params() -> SimParams {
-    let mut p = SimParams::paper_testbed();
+    let mut p = tm_bench::bench_testbed();
     p.faults = fault_plan();
     p
 }

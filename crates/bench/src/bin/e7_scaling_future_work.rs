@@ -28,7 +28,7 @@ use std::sync::Arc;
 use tm_bench::{print_header, AppSpec};
 use tm_fast::{run_fast_dsm, FastConfig, Transport};
 use tm_sim::runner::NodeOutcome;
-use tm_sim::{Ns, SimParams};
+use tm_sim::Ns;
 use tmk::memsub::run_mem_dsm;
 use tmk::{BarrierAlgo, Substrate, Tmk, TmkConfig};
 
@@ -69,15 +69,17 @@ fn cfg(algo: BarrierAlgo) -> TmkConfig {
 }
 
 /// Average barrier time on FAST/GM under the given algorithm.
+/// `E2_SCHED=lockstep` makes every row byte-reproducible (see
+/// [`tm_bench::sched_mode`]).
 fn fast_barrier(n: usize, algo: BarrierAlgo) -> Ns {
-    let params = Arc::new(SimParams::paper_testbed());
+    let params = Arc::new(tm_bench::bench_testbed());
     let fc = FastConfig::paper(&params);
     avg(&run_fast_dsm(n, params, fc, cfg(algo), barrier_body))
 }
 
 /// Average barrier time on the ideal (zero-cost) substrate.
 fn ideal_barrier(n: usize, algo: BarrierAlgo) -> Ns {
-    let params = Arc::new(SimParams::paper_testbed());
+    let params = Arc::new(tm_bench::bench_testbed());
     avg(&run_mem_dsm(n, params, Ns::ZERO, cfg(algo), barrier_body))
 }
 

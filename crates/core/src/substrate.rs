@@ -11,6 +11,20 @@
 //! The binding is a generic parameter of [`crate::Tmk`], monomorphized at
 //! compile time — the paper's "bound to TreadMarks at compile time", with
 //! zero dispatch overhead.
+//!
+//! # Scheduling contract (lockstep mode)
+//!
+//! Under `SchedMode::Lockstep` the fabric serializes transmits through a
+//! conservative two-phase request/grant protocol (`tm_sim::sched`). A
+//! substrate participates by declaring a *lookahead* — a lower bound on
+//! the virtual delay between the moment its node becomes preemptible and
+//! the earliest instant any future packet of its can reach the wire — and
+//! by routing every send and blocking wait through its NIC handle's
+//! `*_floored` entry points. Both transports in this workspace do so at
+//! construction time (`GmNode::new`, `UdpStack::new`), so implementations
+//! layered on them inherit the contract for free;
+//! [`sched_lookahead`](Substrate::sched_lookahead) exposes the declared
+//! value for diagnostics and for the lookahead table in `DESIGN.md`.
 
 use std::sync::Arc;
 
@@ -147,5 +161,16 @@ pub trait Substrate {
     /// chunks diff responses to fit.
     fn max_msg(&self) -> usize {
         self.params().dsm.max_msg
+    }
+
+    /// The lookahead this transport declared to the lockstep scheduler: a
+    /// sound lower bound on the delay between its node's
+    /// `preemptible_since()` and the earliest wire injection of any future
+    /// packet (see the module docs). `Ns::ZERO` — the default, and the
+    /// answer for in-memory transports that never touch the fabric — is
+    /// always sound, merely pessimistic. Informational: the floors actually
+    /// enforced are the ones passed per-send through the NIC handle.
+    fn sched_lookahead(&self) -> Ns {
+        Ns::ZERO
     }
 }

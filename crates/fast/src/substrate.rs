@@ -506,6 +506,10 @@ impl Substrate for FastSubstrate {
         self.cfg.scheme
     }
 
+    fn sched_lookahead(&self) -> Ns {
+        self.gm.lookahead()
+    }
+
     fn send_request(&mut self, to: usize, data: &[u8]) -> bool {
         self.send_kind(to, REQ_PORT, FRAME_DATA, data, None);
         true // GM delivery is reliable

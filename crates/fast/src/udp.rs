@@ -203,6 +203,10 @@ impl Substrate for UdpSubstrate {
         }
     }
 
+    fn sched_lookahead(&self) -> Ns {
+        self.udp.lookahead()
+    }
+
     fn send_request(&mut self, to: usize, data: &[u8]) -> bool {
         self.send_msg(to, REQ_SOCK, data, None)
     }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
-use tm_sim::Ns;
+use tm_sim::{Ns, WakeReason};
 
 use crate::fabric::Fabric;
 use crate::packet::{NodeId, RawPacket};
@@ -57,8 +57,55 @@ impl NicHandle {
         self.fabric.any_alive(nodes)
     }
 
+    /// Whether this cluster runs under the conservative lockstep
+    /// scheduler (see [`tm_sim::sched`]).
+    pub fn lockstep(&self) -> bool {
+        self.fabric.sched().is_some()
+    }
+
+    /// Declare this node's substrate lookahead to the lockstep scheduler
+    /// (no-op under free-run): a sound lower bound on the virtual time
+    /// between the start of the node's preemptible window and its next
+    /// packet reaching the wire. Transports call this once at
+    /// construction.
+    pub fn declare_lookahead(&self, la: Ns) {
+        if let Some(sched) = self.fabric.sched() {
+            sched.declare_lookahead(self.node, la);
+        }
+    }
+
+    /// This node's current delivery count under lockstep (0 under
+    /// free-run): the race-detection signature for
+    /// [`NicHandle::poll_quiesce`]. Sample it *before* draining the
+    /// channel, so a delivery that lands between the drain and the
+    /// quiesce bounces the quiesce instead of being missed.
+    pub fn delivery_signature(&self) -> u64 {
+        self.fabric
+            .sched()
+            .map_or(0, |s| s.delivery_count(self.node))
+    }
+
+    /// Lockstep-only settlement of a non-blocking poll at virtual time
+    /// `t`: returns `true` once the scheduler proves no packet with
+    /// virtual arrival ≤ `t` can still be in flight (the poll's miss is
+    /// then deterministic), or `false` if a delivery raced in first (the
+    /// caller must re-drain and re-examine its queues). `seen` is the
+    /// [`NicHandle::delivery_signature`] sampled before the caller's
+    /// drain; `floor` as in [`NicHandle::recv_any_floored`]. Under
+    /// free-run this returns `true` immediately — free-run polls are
+    /// allowed to race.
+    pub fn poll_quiesce(&self, t: Ns, seen: u64, floor: Ns) -> bool {
+        match self.fabric.sched() {
+            Some(s) => s.poll_quiesce(self.node, t, seen, floor),
+            None => true,
+        }
+    }
+
     /// Inject a packet from this node (sender side). Thin forwarding to
     /// [`Fabric::transmit`]; cost accounting is the caller's business.
+    /// Under lockstep the sender's post-transmit floor defaults to the
+    /// injection time — sound only for monotone injectors; transports
+    /// with clock access use [`NicHandle::inject_floored`].
     pub fn inject(
         &self,
         dst: NodeId,
@@ -70,6 +117,34 @@ impl NicHandle {
     ) -> Ns {
         self.fabric
             .transmit(self.node, dst, src_port, dst_port, payload, inject_time, directed)
+    }
+
+    /// [`NicHandle::inject`] with an explicit lockstep floor:
+    /// `floor_after` bounds from below every packet this node may inject
+    /// after this one (clock preemptible-window start + declared
+    /// lookahead). Ignored under free-run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inject_floored(
+        &self,
+        dst: NodeId,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+        inject_time: Ns,
+        directed: Option<(u32, u64)>,
+        floor_after: Ns,
+    ) -> Ns {
+        self.fabric.transmit_floored(
+            self.node,
+            dst,
+            src_port,
+            dst_port,
+            payload,
+            inject_time,
+            directed,
+            false,
+            floor_after,
+        )
     }
 
     /// Inject a fault-injection loss tombstone: the packet occupies the
@@ -84,7 +159,23 @@ impl NicHandle {
         payload: Bytes,
         inject_time: Ns,
     ) -> Ns {
-        self.fabric.transmit_flagged(
+        self.inject_lost_floored(dst, src_port, dst_port, payload, inject_time, inject_time)
+    }
+
+    /// [`NicHandle::inject_lost`] with an explicit lockstep floor (see
+    /// [`NicHandle::inject_floored`]). Fault paths that delay or
+    /// duplicate packets must use this: a reordered packet's injection
+    /// time is *not* a sound floor for the node's next send.
+    pub fn inject_lost_floored(
+        &self,
+        dst: NodeId,
+        src_port: u16,
+        dst_port: u16,
+        payload: Bytes,
+        inject_time: Ns,
+        floor_after: Ns,
+    ) -> Ns {
+        self.fabric.transmit_floored(
             self.node,
             dst,
             src_port,
@@ -93,6 +184,7 @@ impl NicHandle {
             inject_time,
             None,
             true,
+            floor_after,
         )
     }
 
@@ -142,45 +234,123 @@ impl NicHandle {
             .map_or(0, |(_, q)| q.len())
     }
 
-    /// Block until a packet is available on *any* of `ports`; returns it.
-    /// FIFO across the wire per sender; arrival order across senders is
-    /// channel order (which respects each sender's injection order).
-    pub fn recv_any_blocking(&mut self, ports: &[u16]) -> RawPacket {
-        loop {
-            self.drain();
-            // Take the queued packet with the smallest arrival time among
-            // the requested ports — virtual-time fairness between ports.
-            let mut best: Option<(usize, Ns)> = None;
-            for (i, (p, q)) in self.queues.iter().enumerate() {
-                if ports.contains(p) {
-                    if let Some(front) = q.front() {
-                        if best.is_none_or(|(_, a)| front.arrival < a) {
-                            best = Some((i, front.arrival));
-                        }
+    /// Index of the demux queue whose front packet has the smallest
+    /// arrival time among `ports` (or all ports when `None`) —
+    /// virtual-time fairness between ports. Callers drain first.
+    fn best_queued_idx(&self, ports: Option<&[u16]>) -> Option<usize> {
+        let mut best: Option<(usize, Ns)> = None;
+        for (i, (p, q)) in self.queues.iter().enumerate() {
+            if ports.is_none_or(|ps| ps.contains(p)) {
+                if let Some(front) = q.front() {
+                    if best.is_none_or(|(_, a)| front.arrival < a) {
+                        best = Some((i, front.arrival));
                     }
                 }
             }
-            if let Some((i, _)) = best {
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Block until a packet is available on *any* of `ports`; returns it.
+    /// FIFO across the wire per sender; arrival order across senders is
+    /// channel order (which respects each sender's injection order) under
+    /// free-run, and virtual-key grant order under lockstep.
+    pub fn recv_any_blocking(&mut self, ports: &[u16]) -> RawPacket {
+        self.recv_any_floored(ports, Ns::ZERO)
+    }
+
+    /// [`NicHandle::recv_any_blocking`] with an explicit lockstep park
+    /// floor: a sound lower bound on any packet this node may inject
+    /// after waking (clock preemptible-window start + declared
+    /// lookahead). `Ns::ZERO` is always safe — the woken node then
+    /// blocks all grants until its next scheduler interaction — and is
+    /// what the floor-less wrapper passes. Ignored under free-run.
+    pub fn recv_any_floored(&mut self, ports: &[u16], floor: Ns) -> RawPacket {
+        let sched = self.fabric.sched().cloned();
+        loop {
+            // Capture the delivery signature *before* draining: if a
+            // delivery lands between our drain and our park, the
+            // signature mismatch makes the park bounce back immediately
+            // instead of sleeping through the wakeup.
+            let sig = sched.as_ref().map(|s| s.delivery_count(self.node));
+            self.drain();
+            if let Some(i) = self.best_queued_idx(Some(ports)) {
                 return self.queues[i].1.pop_front().expect("non-empty");
             }
-            // Nothing queued: park until the fabric delivers something.
-            match self.rx.recv() {
-                Ok(pkt) => self.stash(pkt),
-                Err(_) => panic!(
-                    "node {}: waiting on ports {ports:?} but all senders shut down (protocol deadlock or premature exit)",
-                    self.node
-                ),
+            match (&sched, sig) {
+                (Some(s), Some(sig)) => {
+                    // Park on the scheduler (never the channel): cluster
+                    // deadlock panics there with the parked-node set.
+                    let _ = s.park(self.node, sig, None, floor);
+                }
+                _ => match self.rx.recv() {
+                    Ok(pkt) => self.stash(pkt),
+                    Err(_) => panic!(
+                        "node {}: waiting on ports {ports:?} but all senders shut down (protocol deadlock or premature exit)",
+                        self.node
+                    ),
+                },
+            }
+        }
+    }
+
+    /// Lockstep-only bounded receive: block until a packet with arrival
+    /// ≤ `deadline` is available on any of `ports`, or until the
+    /// deadline itself becomes the cluster's next event. Returns `None`
+    /// on timeout — including when the earliest queued packet arrives
+    /// *after* the deadline (it stays queued; the caller's virtual clock
+    /// jumps to the deadline). `floor` as in
+    /// [`NicHandle::recv_any_floored`]. This replaces the wall-clock
+    /// guard of [`NicHandle::recv_any_bounded`] with a deterministic
+    /// virtual-time timeout.
+    pub fn recv_any_deadline(
+        &mut self,
+        ports: &[u16],
+        deadline: Ns,
+        floor: Ns,
+    ) -> Option<RawPacket> {
+        let sched = self
+            .fabric
+            .sched()
+            .cloned()
+            .expect("recv_any_deadline requires SchedMode::Lockstep");
+        loop {
+            let sig = sched.delivery_count(self.node);
+            self.drain();
+            if let Some(i) = self.best_queued_idx(Some(ports)) {
+                let q = &mut self.queues[i].1;
+                if q.front().expect("non-empty").arrival <= deadline {
+                    return q.pop_front();
+                }
+                // The next event for this node is already past the
+                // deadline: the timeout fires first, deterministically.
+                return None;
+            }
+            match sched.park(self.node, sig, Some(deadline), floor) {
+                WakeReason::Delivered => continue,
+                WakeReason::Timeout => {
+                    self.drain();
+                    if let Some(i) = self.best_queued_idx(Some(ports)) {
+                        let q = &mut self.queues[i].1;
+                        if q.front().expect("non-empty").arrival <= deadline {
+                            return q.pop_front();
+                        }
+                    }
+                    return None;
+                }
             }
         }
     }
 
     /// Like [`NicHandle::recv_any_blocking`], but the park on an empty
     /// channel is bounded by a *wall-clock* guard. This is the thin
-    /// escape hatch for hang detection: virtual-time code never depends
-    /// on the guard's value for correctness — it only fires when the
-    /// cluster is truly silent (e.g. a datagram was silently dropped with
-    /// no tombstone, which only receive-buffer overflow can produce).
-    /// Returns `None` if the guard expires with nothing queued.
+    /// escape hatch for hang detection under free-run: virtual-time code
+    /// never depends on the guard's value for correctness — it only
+    /// fires when the cluster is truly silent (e.g. a datagram was
+    /// silently dropped with no tombstone, which only receive-buffer
+    /// overflow can produce). Returns `None` if the guard expires with
+    /// nothing queued. Lockstep callers use
+    /// [`NicHandle::recv_any_deadline`] instead.
     pub fn recv_any_bounded(
         &mut self,
         ports: &[u16],
@@ -188,17 +358,7 @@ impl NicHandle {
     ) -> Option<RawPacket> {
         loop {
             self.drain();
-            let mut best: Option<(usize, Ns)> = None;
-            for (i, (p, q)) in self.queues.iter().enumerate() {
-                if ports.contains(p) {
-                    if let Some(front) = q.front() {
-                        if best.is_none_or(|(_, a)| front.arrival < a) {
-                            best = Some((i, front.arrival));
-                        }
-                    }
-                }
-            }
-            if let Some((i, _)) = best {
+            if let Some(i) = self.best_queued_idx(Some(ports)) {
                 return Some(self.queues[i].1.pop_front().expect("non-empty"));
             }
             match self.rx.recv_timeout(guard) {
@@ -210,21 +370,22 @@ impl NicHandle {
 
     /// Block until any packet at all arrives (used by raw benchmarks).
     pub fn recv_blocking(&mut self) -> RawPacket {
-        self.drain();
-        let mut best: Option<(usize, Ns)> = None;
-        for (i, (_, q)) in self.queues.iter().enumerate() {
-            if let Some(front) = q.front() {
-                if best.is_none_or(|(_, a)| front.arrival < a) {
-                    best = Some((i, front.arrival));
-                }
+        let sched = self.fabric.sched().cloned();
+        loop {
+            let sig = sched.as_ref().map(|s| s.delivery_count(self.node));
+            self.drain();
+            if let Some(i) = self.best_queued_idx(None) {
+                return self.queues[i].1.pop_front().expect("non-empty");
             }
-        }
-        if let Some((i, _)) = best {
-            return self.queues[i].1.pop_front().expect("non-empty");
-        }
-        match self.rx.recv() {
-            Ok(pkt) => pkt,
-            Err(_) => panic!("node {}: all senders shut down", self.node),
+            match (&sched, sig) {
+                (Some(s), Some(sig)) => {
+                    let _ = s.park(self.node, sig, None, Ns::ZERO);
+                }
+                _ => match self.rx.recv() {
+                    Ok(pkt) => self.stash(pkt),
+                    Err(_) => panic!("node {}: all senders shut down", self.node),
+                },
+            }
         }
     }
 }

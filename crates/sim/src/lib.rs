@@ -25,6 +25,7 @@ pub mod clock;
 pub mod faults;
 pub mod params;
 pub mod runner;
+pub mod sched;
 pub mod stats;
 pub mod time;
 
@@ -32,5 +33,6 @@ pub use clock::{AsyncScheme, NodeClock, SharedClock};
 pub use faults::FaultPlan;
 pub use params::SimParams;
 pub use runner::{run_cluster, NodeEnv};
+pub use sched::{LockstepSched, SchedMode, WakeReason};
 pub use stats::NodeStats;
 pub use time::Ns;

@@ -14,6 +14,7 @@
 
 use crate::clock::AsyncScheme;
 use crate::faults::FaultPlan;
+use crate::sched::SchedMode;
 use crate::time::Ns;
 
 /// Wire and switch model for the Myrinet-2000 fabric.
@@ -234,12 +235,26 @@ pub struct SimParams {
     pub cpu: CpuParams,
     /// Deterministic fault-injection plan; all-off by default.
     pub faults: FaultPlan,
+    /// Thread-interleaving regime: free-running (fast, wall-clock
+    /// arbitration under contention) or conservative lockstep
+    /// (byte-reproducible). See [`crate::sched`].
+    pub sched: SchedMode,
 }
 
 impl SimParams {
     /// The paper's testbed, as calibrated against §3.1.
     pub fn paper_testbed() -> Self {
         SimParams::default()
+    }
+
+    /// The paper's testbed under the conservative lockstep scheduler
+    /// ([`SchedMode::Lockstep`]): identical cost model, byte-reproducible
+    /// thread interleaving. The default for all pinned-output tests.
+    pub fn lockstep_testbed() -> Self {
+        SimParams {
+            sched: SchedMode::Lockstep,
+            ..SimParams::default()
+        }
     }
 
     /// The async scheme the paper adopted for FAST/GM (modified firmware).

@@ -1,0 +1,649 @@
+//! Conservative lockstep scheduler: byte-reproducible virtual-time runs.
+//!
+//! # Why
+//!
+//! Every number this simulator reports is virtual-time arithmetic, yet a
+//! free-running cluster is not reproducible: when several node threads
+//! transmit to the same destination "at once", the *wall-clock* order in
+//! which they win the fabric's link-reservation CAS decides the virtual
+//! queueing order on the shared rx link. Barrier storms (N arrivals
+//! converging on the manager) therefore jitter run to run.
+//!
+//! # How
+//!
+//! [`LockstepSched`] is a conservative parallel-discrete-event scheduler
+//! in the Chandy–Misra tradition. Every *fabric action* — a wire
+//! transmission, or the expiry of a virtual receive deadline — becomes an
+//! **event** with a totally ordered key `(virtual time, node id, seq)`.
+//! Link reservations are split into a two-phase *request/grant*: a node
+//! asking to transmit parks in [`LockstepSched::request_transmit`] until
+//! the scheduler grants its key, and grants are issued in key order.
+//!
+//! The safety rule is the conservative horizon. Each node carries a
+//! **floor**: a lower bound on the key of any event it could still
+//! produce. Floors come from the node's own clock (its preemptible-window
+//! start) plus a per-substrate **lookahead** — the minimum modeled cost
+//! between resuming execution and the next packet reaching the wire (GM:
+//! NIC DMA-descriptor setup plus the `gm_send` host overhead; UDP: the
+//! syscall + protocol-stack floor; both: the NIC tx engine). The pending
+//! event with the smallest key is dispatched only when every node that is
+//! still *running* (not parked, not pending, not finished) has a floor
+//! strictly above that key — i.e. no straggler can still create an
+//! earlier event. Ties never happen: keys are unique by `(node, seq)`.
+//!
+//! Determinism argument, in one paragraph: a node's execution between
+//! scheduler interactions is a pure function of its inputs (per-node
+//! clocks are thread-local, RNG streams are seeded, and wall-clock reads
+//! are confined to the free-run path). Its inputs are exactly the
+//! sequence of packets delivered to it and deadline expiries — both of
+//! which are produced only by grants. Grants fire in an order fixed by
+//! the floors: any interleaving-dependent early grant is impossible
+//! because a running node that could still produce a smaller key holds a
+//! floor at or below that key, blocking the grant until the node commits
+//! (requests, parks or finishes). By induction over grants, the whole
+//! schedule — and therefore every virtual timestamp, counter and memory
+//! image — is a function of the program alone.
+//!
+//! Blocking receives park through the scheduler too
+//! ([`LockstepSched::park`]): a parked node's next event is unknowable
+//! until a packet is delivered to it (floor = +∞), or bounded by its
+//! virtual deadline for timeout waits (the DSM retransmission timer), in
+//! which case the deadline is an event like any other and the wall-clock
+//! hang guard of the free-running path is never consulted.
+
+use std::sync::{Condvar, Mutex};
+
+use crate::time::Ns;
+
+/// How the cluster's node threads are interleaved.
+///
+/// * `FreeRun` — node threads run unsynchronized; link reservations
+///   arbitrate by compare-and-swap in wall-clock order. Fast, and
+///   deterministic only for workloads whose message order is fully
+///   serialized by data dependencies.
+/// * `Lockstep` — all fabric actions are sequenced by [`LockstepSched`]
+///   in virtual-key order; runs are byte-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Free-running threads, wall-clock CAS arbitration (the fast default).
+    #[default]
+    FreeRun,
+    /// Conservative lockstep: deterministic, byte-reproducible runs.
+    Lockstep,
+}
+
+impl SchedMode {
+    /// Parse from an environment-style string: `lockstep` (any case)
+    /// selects [`SchedMode::Lockstep`]; `freerun`, `free` or the empty
+    /// string select [`SchedMode::FreeRun`].
+    pub fn parse(s: &str) -> Option<SchedMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "" | "free" | "freerun" => Some(SchedMode::FreeRun),
+            "lockstep" => Some(SchedMode::Lockstep),
+            _ => None,
+        }
+    }
+}
+
+/// Why a parked node was released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeReason {
+    /// A packet was delivered to the node's inbox (or had already been
+    /// delivered when the park was attempted — re-drain and re-check).
+    Delivered,
+    /// The park's virtual deadline became the cluster's next event.
+    Timeout,
+}
+
+/// A totally ordered event key: virtual time, then node id, then the
+/// node's own event sequence number. Unique by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    t: Ns,
+    node: usize,
+    seq: u64,
+}
+
+#[derive(Debug)]
+enum St {
+    /// Executing between fabric actions. `floor` bounds from below the
+    /// virtual time of any event this node can still produce.
+    Running { floor: Ns },
+    /// Blocked in `request_transmit`, waiting for its key to be granted.
+    Pending { key: Key, floor_after: Ns },
+    /// Blocked in `park`: waiting for a delivery, and — if `deadline` is
+    /// set — for at most that much virtual time.
+    Parked { deadline: Option<Key>, floor: Ns },
+    /// The node's NIC has left the fabric; it produces no more events.
+    Done,
+}
+
+#[derive(Debug)]
+struct NodeSt {
+    st: St,
+    /// Per-node event sequence for key uniqueness.
+    seq: u64,
+    /// Declared substrate lookahead (see module docs). Zero until a
+    /// substrate claims better; zero is always safe, only slower.
+    lookahead: Ns,
+    /// Count of packets ever delivered to this node's inbox. Parking
+    /// passes the last value it observed before draining; a mismatch
+    /// means a delivery raced the park and the node must re-drain instead
+    /// of sleeping (the classic eventcount handshake).
+    deliveries: u64,
+    /// Set by the dispatcher when this node's pending transmit is
+    /// granted or its park is released; consumed by the blocked thread.
+    release: Option<WakeReason>,
+}
+
+struct State {
+    nodes: Vec<NodeSt>,
+    /// The node holding the reservation token: between its transmit
+    /// grant and its `finish_transmit`. Link reservations are exclusive,
+    /// so at most one node is inside the fabric's reservation section at
+    /// a time; tracking *who* lets `mark_done` release a token held by a
+    /// node that unwinds mid-transmit.
+    token_owner: Option<usize>,
+}
+
+/// The conservative lockstep scheduler for one cluster fabric. Shared
+/// (`Arc`) by every node thread; all methods are called from node
+/// threads (the scheduler has no thread of its own).
+///
+/// One condvar per node, not one shared: a grant releases exactly one
+/// thread, and waking the whole cluster to have everyone re-check and
+/// re-sleep is a futex storm that dominates the scheduler's wall-clock
+/// overhead on poll-heavy workloads.
+pub struct LockstepSched {
+    state: Mutex<State>,
+    cvs: Vec<Condvar>,
+}
+
+impl LockstepSched {
+    /// A scheduler for `n` nodes, all initially running with floor 0 (no
+    /// event can be granted until every node has committed to its first
+    /// fabric action — the conservative cold start).
+    pub fn new(n: usize) -> LockstepSched {
+        let nodes = (0..n)
+            .map(|_| NodeSt {
+                st: St::Running { floor: Ns::ZERO },
+                seq: 0,
+                lookahead: Ns::ZERO,
+                deliveries: 0,
+                release: None,
+            })
+            .collect();
+        LockstepSched {
+            state: Mutex::new(State {
+                nodes,
+                token_owner: None,
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Declare `node`'s substrate lookahead: a sound lower bound on the
+    /// virtual time between the start of its current preemptible window
+    /// and its next packet reaching the wire. Larger values let the
+    /// dispatcher release events sooner; `Ns::ZERO` (the default) is
+    /// always safe.
+    pub fn declare_lookahead(&self, node: usize, la: Ns) {
+        let mut s = self.state.lock().unwrap();
+        s.nodes[node].lookahead = la;
+    }
+
+    /// The declared lookahead for `node` (diagnostics / tests).
+    pub fn lookahead(&self, node: usize) -> Ns {
+        self.state.lock().unwrap().nodes[node].lookahead
+    }
+
+    /// Phase one of the two-phase link reservation: announce a transmit
+    /// whose NIC injection happens at virtual time `inject`, and block
+    /// until the scheduler grants it. `floor_after` is the node's floor
+    /// once this transmit is done (its preemptible-window start plus its
+    /// lookahead); the caller computes it from its clock.
+    ///
+    /// On return the caller holds the cluster-wide reservation token: it
+    /// must perform its link reservations and inbox delivery, then call
+    /// [`LockstepSched::finish_transmit`].
+    pub fn request_transmit(&self, node: usize, inject: Ns, floor_after: Ns) {
+        let mut s = self.state.lock().unwrap();
+        let seq = s.nodes[node].next_seq();
+        let key = Key {
+            t: inject,
+            node,
+            seq,
+        };
+        s.nodes[node].st = St::Pending { key, floor_after };
+        self.dispatch(&mut s);
+        loop {
+            if s.nodes[node].release.take().is_some() {
+                return;
+            }
+            s = self.cvs[node].wait(s).unwrap();
+        }
+    }
+
+    /// Phase two: the granted transmit has reserved its links and pushed
+    /// the packet (arriving at `arrival`) into `dst`'s inbox. Releases
+    /// the reservation token and wakes `dst` if it is parked. For a
+    /// loopback or a delivery to a finished node pass `dst == node` /
+    /// the dead node; both degenerate gracefully.
+    pub fn finish_transmit(&self, node: usize, dst: usize, arrival: Ns) {
+        let mut s = self.state.lock().unwrap();
+        s.token_owner = None;
+        if dst != node {
+            self.deliver_locked(&mut s, dst, arrival);
+        }
+        self.dispatch(&mut s);
+    }
+
+    /// The number of packets ever delivered to `node`'s inbox. Capture
+    /// this *before* draining the inbox and pass it to
+    /// [`LockstepSched::park`]; the scheduler refuses to sleep if a
+    /// delivery has happened since, closing the drain/park race.
+    pub fn delivery_count(&self, node: usize) -> u64 {
+        self.state.lock().unwrap().nodes[node].deliveries
+    }
+
+    /// Park `node` until a packet is delivered to it or — when `deadline`
+    /// is `Some(d)` — until virtual time `d` becomes the cluster's next
+    /// event. `seen_deliveries` is the value of
+    /// [`LockstepSched::delivery_count`] captured before the caller
+    /// last drained its inbox; `floor` is the node's floor while parked
+    /// and on timeout release (its preemptible-window start plus
+    /// lookahead).
+    pub fn park(
+        &self,
+        node: usize,
+        seen_deliveries: u64,
+        deadline: Option<Ns>,
+        floor: Ns,
+    ) -> WakeReason {
+        let mut s = self.state.lock().unwrap();
+        if s.nodes[node].deliveries != seen_deliveries {
+            // A delivery raced our drain; don't sleep on a stale view.
+            return WakeReason::Delivered;
+        }
+        let deadline = deadline.map(|t| {
+            let seq = s.nodes[node].next_seq();
+            Key { t, node, seq }
+        });
+        s.nodes[node].st = St::Parked { deadline, floor };
+        self.dispatch(&mut s);
+        loop {
+            if let Some(reason) = s.nodes[node].release.take() {
+                return reason;
+            }
+            s = self.cvs[node].wait(s).unwrap();
+        }
+    }
+
+    /// Settle a *non-blocking poll*: may the node conclude that nothing
+    /// with virtual arrival `<= t` will ever reach its inbox?
+    ///
+    /// A free-running poll races in-flight traffic — whether a packet
+    /// whose virtual arrival is already in the poller's past has been
+    /// *pushed yet* is pure wall-clock luck, and the answer steers
+    /// retroactive request service, so it must be deterministic. Under
+    /// lockstep the poll becomes an event like any other: the node parks
+    /// on deadline `t` and the dispatcher releases it only once every
+    /// earlier event has been granted and no running node's floor allows
+    /// an earlier injection. Cycles of concurrent pollers resolve by key
+    /// order (the earliest poll settles first).
+    ///
+    /// Returns `false` if a delivery landed instead — the caller must
+    /// re-drain its queues and re-poll (the new packet may still be in
+    /// its virtual future). Returns `true` when the "empty" answer is
+    /// final; the node's floor is then raised to `t` plus its lookahead,
+    /// which is sound because every post-settle send is either a program
+    /// send priced at or after `t` or a response to an arrival after `t`.
+    ///
+    /// `seen_deliveries` and `floor` are as for [`LockstepSched::park`].
+    pub fn poll_quiesce(&self, node: usize, t: Ns, seen_deliveries: u64, floor: Ns) -> bool {
+        {
+            let mut s = self.state.lock().unwrap();
+            if s.nodes[node].deliveries != seen_deliveries {
+                return false;
+            }
+            // Fast path: the poll's deadline event would be granted the
+            // moment it was created — no reservation token in flight, no
+            // candidate event with a smaller key, every running floor
+            // above `t`. Settling inline is then schedule-equivalent to
+            // the park below (the dispatcher would release this deadline
+            // before anything else), minus the sleep/wake round trip that
+            // a poll-heavy engine pays on every miss. The seq that the
+            // park would have consumed is skipped, which is harmless: a
+            // node has at most one live candidate at a time, so seq never
+            // arbitrates between coexisting events.
+            let me = Key { t, node, seq: 0 };
+            let settled_now = s.token_owner.is_none()
+                && s.nodes.iter().enumerate().all(|(i, n)| {
+                    i == node
+                        || match &n.st {
+                            St::Running { floor } => t < *floor,
+                            St::Pending { key, .. } => *key > me,
+                            St::Parked {
+                                deadline: Some(d), ..
+                            } => *d > me,
+                            St::Parked { deadline: None, .. } | St::Done => true,
+                        }
+                });
+            if settled_now {
+                let la = s.nodes[node].lookahead;
+                if let St::Running { floor: f } = &mut s.nodes[node].st {
+                    // Same floor the slow path lands on: the park floor,
+                    // raised by the settled poll's horizon.
+                    *f = floor.max(t + la);
+                }
+                self.dispatch(&mut s);
+                return true;
+            }
+        }
+        match self.park(node, seen_deliveries, Some(t), floor) {
+            WakeReason::Delivered => false,
+            WakeReason::Timeout => {
+                let mut s = self.state.lock().unwrap();
+                let la = s.nodes[node].lookahead;
+                if let St::Running { floor } = &mut s.nodes[node].st {
+                    *floor = (*floor).max(t + la);
+                }
+                self.dispatch(&mut s);
+                true
+            }
+        }
+    }
+
+    /// `node`'s NIC has left the fabric: it produces no further events.
+    /// Called on the node's own thread (from the NIC handle's drop).
+    pub fn mark_done(&self, node: usize) {
+        let mut s = self.state.lock().unwrap();
+        s.nodes[node].st = St::Done;
+        if s.token_owner == Some(node) {
+            // The node unwound between its grant and `finish_transmit`
+            // (a panic mid-reservation); free the token so the rest of
+            // the cluster can drain and surface the failure.
+            s.token_owner = None;
+        }
+        self.dispatch(&mut s);
+    }
+
+    /// Deliver-without-transmit: wake `dst` for a packet that reached its
+    /// inbox outside the two-phase path (shutdown races deliver nothing;
+    /// loopbacks never leave the node). Exposed for the fabric only.
+    fn deliver_locked(&self, s: &mut State, dst: usize, _arrival: Ns) {
+        let n = &mut s.nodes[dst];
+        n.deliveries += 1;
+        if let St::Parked { floor, .. } = n.st {
+            // Resume with the park floor unchanged: the woken node might
+            // react to an *earlier-queued* packet on another port, not the
+            // one that woke it, so the arrival time of the waking packet
+            // is not a sound lower bound — the park floor still is (the
+            // preemptible window only moves forward while blocked).
+            n.st = St::Running { floor };
+            n.release = Some(WakeReason::Delivered);
+            self.cvs[dst].notify_all();
+        }
+        // Running / Pending / Done nodes will find the packet when they
+        // next drain; their floors already bound any response to it.
+    }
+
+    /// Grant every releasable event, in key order. Called with the state
+    /// lock held after every transition; followed by `notify_all` at the
+    /// call sites that can wake sleepers.
+    fn dispatch(&self, s: &mut State) {
+        loop {
+            // The smallest event key on offer: pending transmits and
+            // park deadlines.
+            let mut best: Option<(Key, usize, bool)> = None;
+            for (i, n) in s.nodes.iter().enumerate() {
+                let cand = match &n.st {
+                    St::Pending { key, .. } => Some((*key, i, true)),
+                    St::Parked {
+                        deadline: Some(d), ..
+                    } => Some((*d, i, false)),
+                    _ => None,
+                };
+                if let Some(c) = cand {
+                    if best.is_none_or(|b| c.0 < b.0) {
+                        best = Some(c);
+                    }
+                }
+            }
+            let Some((key, idx, is_transmit)) = best else {
+                self.check_deadlock(s);
+                return;
+            };
+            // Conservative horizon: no running node may still be able to
+            // produce an earlier (or equal) key.
+            let safe = s.nodes.iter().all(|n| match n.st {
+                St::Running { floor } => key.t < floor,
+                _ => true,
+            });
+            if !safe {
+                return;
+            }
+            if s.token_owner.is_some() {
+                // A granted transmit has not yet pushed its packet: its
+                // links are unreserved and its delivery invisible, so no
+                // event — not even a deadline expiry, which could
+                // otherwise conclude "nothing arrived" moments before the
+                // in-flight packet lands — may be released until
+                // `finish_transmit`. Re-dispatch happens there.
+                return;
+            }
+            if is_transmit {
+                s.token_owner = Some(idx);
+                let n = &mut s.nodes[idx];
+                let floor = match n.st {
+                    St::Pending { floor_after, .. } => floor_after,
+                    _ => unreachable!(),
+                };
+                n.st = St::Running { floor };
+                n.release = Some(WakeReason::Delivered);
+            } else {
+                let n = &mut s.nodes[idx];
+                let floor = match n.st {
+                    St::Parked { floor, .. } => floor,
+                    _ => unreachable!(),
+                };
+                n.st = St::Running { floor };
+                n.release = Some(WakeReason::Timeout);
+            }
+            self.cvs[idx].notify_all();
+        }
+    }
+
+    /// With no event on offer, every node must be running (it will commit
+    /// to an event eventually) or done. A node parked without a deadline
+    /// at that point can never be woken: the free-running path would hang
+    /// in `Receiver::recv`; lockstep turns it into a diagnosis.
+    fn check_deadlock(&self, s: &State) {
+        let any_running = s
+            .nodes
+            .iter()
+            .any(|n| matches!(n.st, St::Running { .. }));
+        if any_running || s.token_owner.is_some() {
+            return;
+        }
+        let stuck: Vec<usize> = s
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.st, St::Parked { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            stuck.is_empty(),
+            "lockstep deadlock: nodes {stuck:?} parked with no event in \
+             flight (protocol deadlock or premature peer exit)"
+        );
+    }
+}
+
+impl NodeSt {
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn sched_mode_parses() {
+        assert_eq!(SchedMode::parse("lockstep"), Some(SchedMode::Lockstep));
+        assert_eq!(SchedMode::parse("LOCKSTEP"), Some(SchedMode::Lockstep));
+        assert_eq!(SchedMode::parse(""), Some(SchedMode::FreeRun));
+        assert_eq!(SchedMode::parse("freerun"), Some(SchedMode::FreeRun));
+        assert_eq!(SchedMode::parse("bogus"), None);
+        assert_eq!(SchedMode::default(), SchedMode::FreeRun);
+    }
+
+    /// Two nodes race to transmit; the grant order must follow virtual
+    /// keys, not wall-clock arrival at the scheduler.
+    #[test]
+    fn grants_follow_virtual_keys() {
+        for _ in 0..20 {
+            let sched = Arc::new(LockstepSched::new(3));
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let mut handles = Vec::new();
+            // Node 2 parks immediately so only 0 and 1 race.
+            {
+                let sched = Arc::clone(&sched);
+                handles.push(thread::spawn(move || {
+                    let seen = sched.delivery_count(2);
+                    sched.park(2, seen, None, Ns(0));
+                    // A woken node keeps its (here: zero) floor until it
+                    // commits to its next fabric action; committing is
+                    // what unblocks later-keyed grants.
+                    sched.mark_done(2);
+                }));
+            }
+            for (node, inject) in [(0usize, Ns(2_000)), (1usize, Ns(1_000))] {
+                let sched = Arc::clone(&sched);
+                let order = Arc::clone(&order);
+                handles.push(thread::spawn(move || {
+                    // Stagger wall-clock arrival adversarially.
+                    if node == 1 {
+                        thread::sleep(std::time::Duration::from_millis(5));
+                    }
+                    sched.request_transmit(node, inject, inject + Ns(1_000_000));
+                    order.lock().unwrap().push(node);
+                    sched.finish_transmit(node, 2, inject + Ns(10_000));
+                    sched.mark_done(node);
+                }));
+            }
+            // Wait for both transmits to complete, then unblock node 2's
+            // park by letting its delivery land.
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(
+                *order.lock().unwrap(),
+                vec![1, 0],
+                "grants must follow (virtual time, node, seq) order"
+            );
+        }
+    }
+
+    /// A park with a deadline wakes by timeout when its deadline is the
+    /// next event; a park raced by a delivery refuses to sleep.
+    #[test]
+    fn deadline_park_times_out_deterministically() {
+        let sched = Arc::new(LockstepSched::new(2));
+        let s2 = Arc::clone(&sched);
+        let t = thread::spawn(move || {
+            let seen = s2.delivery_count(1);
+            s2.park(1, seen, Some(Ns(5_000)), Ns(100))
+        });
+        // Node 0 finishing leaves node 1's deadline as the only event.
+        sched.mark_done(0);
+        assert_eq!(t.join().unwrap(), WakeReason::Timeout);
+    }
+
+    #[test]
+    fn raced_park_refuses_to_sleep() {
+        let sched = LockstepSched::new(2);
+        let seen = sched.delivery_count(1);
+        // A transmit completes after the count was read but before the
+        // park: the park must bounce back as Delivered.
+        let mut s = sched.state.lock().unwrap();
+        sched.deliver_locked(&mut s, 1, Ns(42));
+        drop(s);
+        assert_eq!(sched.park(1, seen, None, Ns(0)), WakeReason::Delivered);
+    }
+
+    #[test]
+    fn lookahead_unblocks_grants_past_running_floors() {
+        let sched = Arc::new(LockstepSched::new(2));
+        sched.declare_lookahead(0, Ns(3_400));
+        // Node 1 transmits at t=2_000. Node 0 is running with floor
+        // 10_000 (reported via a finished park), so 2_000 < 10_000 and
+        // the grant fires without waiting for node 0 to commit.
+        let s2 = Arc::clone(&sched);
+        let t = thread::spawn(move || {
+            s2.request_transmit(1, Ns(2_000), Ns(5_400));
+            s2.finish_transmit(1, 0, Ns(12_000));
+        });
+        // Stand node 0 up as Running{floor: 10_000}: park then release
+        // by delivery is the mechanism, so emulate directly.
+        {
+            let mut s = sched.state.lock().unwrap();
+            s.nodes[0].st = St::Running { floor: Ns(10_000) };
+            sched.dispatch(&mut s);
+            // dispatch notifies the granted node's condvar itself.
+        }
+        t.join().unwrap();
+    }
+
+    /// Two concurrent pollers whose stale floors sit below each other's
+    /// poll times would deadlock under a naive "wait until every floor
+    /// passes t" rule. As ordered events they settle smallest key first.
+    #[test]
+    fn concurrent_polls_settle_in_key_order() {
+        let sched = Arc::new(LockstepSched::new(2));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut hs = Vec::new();
+        for (node, t) in [(0usize, Ns(100)), (1usize, Ns(50))] {
+            let s = Arc::clone(&sched);
+            let order = Arc::clone(&order);
+            hs.push(thread::spawn(move || {
+                let seen = s.delivery_count(node);
+                let settled = s.poll_quiesce(node, t, seen, Ns(10));
+                order.lock().unwrap().push(node);
+                // A settled poller keeps running; committing (here: done)
+                // is what lets later-keyed polls settle behind it.
+                s.mark_done(node);
+                settled
+            }));
+        }
+        for h in hs {
+            assert!(h.join().unwrap(), "poll failed to settle");
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn poll_raced_by_delivery_returns_false() {
+        let sched = LockstepSched::new(2);
+        let seen = sched.delivery_count(1);
+        let mut s = sched.state.lock().unwrap();
+        sched.deliver_locked(&mut s, 1, Ns(42));
+        drop(s);
+        assert!(!sched.poll_quiesce(1, Ns(100), seen, Ns(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lockstep deadlock")]
+    fn all_parked_no_event_is_a_deadlock() {
+        let sched = Arc::new(LockstepSched::new(2));
+        sched.mark_done(0);
+        let seen = sched.delivery_count(1);
+        sched.park(1, seen, None, Ns(0));
+    }
+}

@@ -68,6 +68,14 @@ pub struct UdpStack {
     sockbuf: usize,
     /// Datagrams dropped (loss model + buffer overflow).
     pub drops: u64,
+    /// Lockstep lookahead: minimum modeled cost between the start of this
+    /// node's preemptible window and its next packet reaching the wire.
+    /// For the kernel path that is the NIC tx engine plus the smaller of
+    /// (a) the sendto floor (`syscall + tx_proto`) and (b) the handler
+    /// floor (`handler_dispatch`, charged before any `sendto_at`
+    /// response, which is always emitted immediately after the service
+    /// window that prices it).
+    la: Ns,
 }
 
 impl UdpStack {
@@ -90,6 +98,12 @@ impl UdpStack {
         } else {
             SOCKBUF_DATAGRAMS
         };
+        let la = params.net.nic_tx
+            + params
+                .dsm
+                .handler_dispatch
+                .min(params.host.syscall + params.udp.tx_proto);
+        nic.declare_lookahead(la);
         UdpStack {
             nic,
             clock,
@@ -99,7 +113,19 @@ impl UdpStack {
             fault_rng,
             sockbuf,
             drops: 0,
+            la,
         }
+    }
+
+    /// Current lockstep floor: a sound lower bound on the injection time
+    /// of any future datagram from this node (see [`tm_sim::sched`]).
+    fn sched_floor(&self) -> Ns {
+        self.clock.borrow().preemptible_since() + self.la
+    }
+
+    /// The lookahead declared to the lockstep scheduler at construction.
+    pub fn lookahead(&self) -> Ns {
+        self.la
     }
 
     pub fn node(&self) -> NodeId {
@@ -204,8 +230,16 @@ impl UdpStack {
         let legacy_p = self.params.udp.drop_probability;
         if self.fault_rng.is_none() && legacy_p == 0.0 {
             // Clean fast path: bit-identical to the pre-fault stack.
-            self.nic
-                .inject(dst, sp, dp, Bytes::copy_from_slice(data), inject, None);
+            let floor = self.sched_floor();
+            self.nic.inject_floored(
+                dst,
+                sp,
+                dp,
+                Bytes::copy_from_slice(data),
+                inject,
+                None,
+                floor,
+            );
             return true;
         }
         let f = self.params.faults.clone();
@@ -226,7 +260,9 @@ impl UdpStack {
         if dropped {
             self.drops += 1;
             self.clock.borrow_mut().stats.dgrams_dropped += 1;
-            self.nic.inject_lost(dst, sp, dp, Bytes::from(buf), inject);
+            let floor = self.sched_floor();
+            self.nic
+                .inject_lost_floored(dst, sp, dp, Bytes::from(buf), inject, floor);
             return false;
         }
         if f.corrupt_probability > 0.0 {
@@ -251,10 +287,21 @@ impl UdpStack {
             duplicate = r.random::<f64>() < f.duplicate_probability;
         }
         let payload = Bytes::from(buf);
-        self.nic.inject(dst, sp, dp, payload.clone(), at, None);
+        let floor = self.sched_floor();
+        // When a duplicate follows, this node's very next injection is at
+        // `at + 1ns` — the floor after the main copy must not promise
+        // anything later than that.
+        let main_floor = if duplicate {
+            (at + Ns(1)).min(floor)
+        } else {
+            floor
+        };
+        self.nic
+            .inject_floored(dst, sp, dp, payload.clone(), at, None, main_floor);
         if duplicate {
             self.clock.borrow_mut().stats.dgrams_duplicated += 1;
-            self.nic.inject(dst, sp, dp, payload, at + Ns(1), None);
+            self.nic
+                .inject_floored(dst, sp, dp, payload, at + Ns(1), None, floor);
         }
         true
     }
@@ -365,26 +412,38 @@ impl UdpStack {
     /// Non-blocking `recvfrom(MSG_DONTWAIT)`: returns a datagram whose
     /// kernel processing completed by the node's current virtual time.
     /// Tombstones are discarded silently — the kernel never saw them.
+    ///
+    /// Under lockstep a miss is settled through the NIC's
+    /// [`poll_quiesce`](tm_myrinet::NicHandle::poll_quiesce) before being
+    /// reported, so the set of datagrams this poll observes never depends
+    /// on wall-clock thread timing (see `GmNode::receive` in `tm-gm`
+    /// for the same pattern on the user-space path).
     pub fn try_recvfrom(&mut self, port: u16) -> Option<Datagram> {
-        self.drain();
-        let now = self.clock.borrow().now();
-        let syscall = self.params.host.syscall;
-        let sock = self.sock_mut(port);
-        while sock.queue.front().is_some_and(|d| d.lost && d.ready <= now) {
-            sock.queue.pop_front();
-        }
-        if sock.queue.front().is_some_and(|d| d.ready <= now) {
-            let d = sock.queue.pop_front().expect("non-empty");
-            // recvfrom syscall + the serial kernel delivery work.
-            let consume = self.rx_consume_cost(d.data.len());
-            self.clock.borrow_mut().advance(syscall + consume);
-            let mut c = self.clock.borrow_mut();
-            c.stats.msgs_recv += 1;
-            c.stats.bytes_recv += d.data.len() as u64;
-            Some(d)
-        } else {
-            self.clock.borrow_mut().advance(syscall);
-            None
+        loop {
+            let sig = self.nic.delivery_signature();
+            self.drain();
+            let now = self.clock.borrow().now();
+            let syscall = self.params.host.syscall;
+            let sock = self.sock_mut(port);
+            while sock.queue.front().is_some_and(|d| d.lost && d.ready <= now) {
+                sock.queue.pop_front();
+            }
+            if sock.queue.front().is_some_and(|d| d.ready <= now) {
+                let d = sock.queue.pop_front().expect("non-empty");
+                // recvfrom syscall + the serial kernel delivery work.
+                let consume = self.rx_consume_cost(d.data.len());
+                self.clock.borrow_mut().advance(syscall + consume);
+                let mut c = self.clock.borrow_mut();
+                c.stats.msgs_recv += 1;
+                c.stats.bytes_recv += d.data.len() as u64;
+                return Some(d);
+            }
+            let floor = self.sched_floor();
+            if self.nic.poll_quiesce(now, sig, floor) {
+                self.clock.borrow_mut().advance(syscall);
+                return None;
+            }
+            // A delivery raced the quiesce: re-drain and look again.
         }
     }
 
@@ -448,9 +507,11 @@ impl UdpStack {
             if let Some((port, _)) = self.earliest_queued(ports) {
                 return self.pop_ready(port);
             }
-            // Park on the NIC channel until something arrives for us.
+            // Park on the NIC channel (under lockstep, on the
+            // scheduler) until something arrives for us.
             let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
-            let pkt = self.nic.recv_any_blocking(&filter);
+            let floor = self.sched_floor();
+            let pkt = self.nic.recv_any_floored(&filter, floor);
             self.admit(pkt);
         }
     }
@@ -484,12 +545,26 @@ impl UdpStack {
                 return None;
             }
             let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
-            match self.nic.recv_any_bounded(&filter, guard) {
-                Some(pkt) => self.admit(pkt),
-                None => {
-                    // True wall-clock silence: treat as a virtual timeout.
-                    self.clock.borrow_mut().wait_until(deadline);
-                    return None;
+            if self.nic.lockstep() {
+                // Deterministic timeout: the deadline is a scheduler
+                // event; the wall-clock guard is never consulted.
+                let floor = self.sched_floor();
+                match self.nic.recv_any_deadline(&filter, deadline, floor) {
+                    Some(pkt) => self.admit(pkt),
+                    None => {
+                        self.clock.borrow_mut().wait_until(deadline);
+                        return None;
+                    }
+                }
+            } else {
+                match self.nic.recv_any_bounded(&filter, guard) {
+                    Some(pkt) => self.admit(pkt),
+                    None => {
+                        // True wall-clock silence: treat as a virtual
+                        // timeout.
+                        self.clock.borrow_mut().wait_until(deadline);
+                        return None;
+                    }
                 }
             }
         }
