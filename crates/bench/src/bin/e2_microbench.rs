@@ -10,7 +10,9 @@ use tm_bench::{print_header, print_row, print_row_header};
 use tm_fast::{run_fast_dsm, run_udp_dsm, FastConfig};
 use tm_sim::stats::NodeStats;
 use tm_sim::{FaultPlan, Ns, SimParams};
-use tmk::{BarrierAlgo, DiffFetch, LayerMetrics, MetricsHandle, Substrate, Tmk, TmkConfig};
+use tmk::{
+    BarrierAlgo, DiffFetch, LayerMetrics, LockPath, MetricsHandle, Substrate, Tmk, TmkConfig,
+};
 
 const ROUNDS: u64 = 20;
 const PAGES: usize = 64;
@@ -98,10 +100,32 @@ fn diff_fetch() -> DiffFetch {
     }
 }
 
+/// Lock/write-notice path under test, from `E2_LOCK_PATH`: `serial` (the
+/// message-for-message spec baseline, the default) or `overlapped` (grant
+/// fetches and write-notice fan-out ride the overlapped RPC engine).
+fn lock_path() -> LockPath {
+    match std::env::var("E2_LOCK_PATH").ok().as_deref() {
+        None | Some("") | Some("serial") => LockPath::Serial,
+        Some("overlapped") => LockPath::Overlapped,
+        Some(other) => panic!("unknown E2_LOCK_PATH {other:?}"),
+    }
+}
+
+/// Stride-prefetch depth, from `E2_PREFETCH`. 0 (the default) leaves the
+/// prefetcher inert.
+fn prefetch_depth() -> usize {
+    std::env::var("E2_PREFETCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 fn tmk_cfg() -> TmkConfig {
     TmkConfig {
         barrier_algo: barrier_algo(),
         diff_fetch: diff_fetch(),
+        lock_path: lock_path(),
+        prefetch_depth: prefetch_depth(),
         ..TmkConfig::default()
     }
 }
@@ -316,6 +340,85 @@ fn diff_multi_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
     per_page
 }
 
+/// TSP-like lock storm: the holder (node 0) writes a block of pages
+/// under the lock, node 1 acquires and reads them. The only ordering
+/// between the write and the read is the lock transfer itself, so the
+/// grant carries the write notices — under `LockPath::Overlapped` the
+/// diff fetches they imply are batched at acquire time instead of
+/// faulting one round trip at a time inside the critical section.
+fn lock_storm_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
+    const K: usize = 16;
+    const STORM_ROUNDS: u64 = 8;
+    let region = tmk.malloc(K * 4096);
+    tmk.distribute(region);
+    let me = tmk.proc_id();
+    for p in 0..K {
+        let _ = tmk.get_u32(region, p * 1024);
+    }
+    tmk.barrier(0);
+    let mut ns = 0u64;
+    for r in 0..STORM_ROUNDS {
+        let want = r as u32 + 1;
+        if me == 0 {
+            tmk.acquire(0);
+            // Payload pages first, the turn marker (page 0) last: a reader
+            // that observes the marker holds notices for the whole interval.
+            for p in 1..K {
+                tmk.set_u32(region, p * 1024 + 4, want);
+            }
+            tmk.set_u32(region, 4, want);
+            tmk.release(0);
+        } else {
+            let t0 = tmk.clock().borrow().now();
+            loop {
+                tmk.acquire(0);
+                if tmk.get_u32(region, 4) == want {
+                    break;
+                }
+                tmk.release(0);
+            }
+            for p in 1..K {
+                assert_eq!(tmk.get_u32(region, p * 1024 + 4), want, "lock-storm payload");
+            }
+            tmk.release(0);
+            ns += (tmk.clock().borrow().now() - t0).0;
+        }
+        tmk.barrier(1 + r as u32);
+    }
+    ns / STORM_ROUNDS
+}
+
+/// SOR-like strided sweep: node 0 writes one word of every page, then
+/// node 1 reads the pages in ascending order after a barrier. Every read
+/// faults, and the constant stride lets the prefetcher run ahead of the
+/// fault stream when `prefetch_depth > 0`.
+fn strided_sweep_body<S: Substrate>(tmk: &mut Tmk<S>) -> u64 {
+    const P: usize = 48;
+    let region = tmk.malloc(P * 4096);
+    tmk.distribute(region);
+    let me = tmk.proc_id();
+    for p in 0..P {
+        let _ = tmk.get_u32(region, p * 1024);
+    }
+    tmk.barrier(0);
+    if me == 0 {
+        for p in 0..P {
+            tmk.set_u32(region, p * 1024, p as u32 + 1);
+        }
+    }
+    tmk.barrier(1);
+    let mut ns = 0u64;
+    if me == 1 {
+        let t0 = tmk.clock().borrow().now();
+        for p in 0..P {
+            assert_eq!(tmk.get_u32(region, p * 1024), p as u32 + 1, "sweep payload");
+        }
+        ns = (tmk.clock().borrow().now() - t0).0 / P as u64;
+    }
+    tmk.barrier(2);
+    ns
+}
+
 fn avg_nonzero(v: &[tm_sim::runner::NodeOutcome<u64>]) -> Ns {
     let vals: Vec<u64> = v.iter().map(|o| o.result).filter(|&x| x > 0).collect();
     Ns(vals.iter().sum::<u64>() / vals.len().max(1) as u64)
@@ -397,6 +500,68 @@ fn main() {
             "4-writer fault ({coalesced}) must be sub-linear vs 1-writer ({k1})"
         );
         println!("e2-smoke: overlap assertions passed");
+
+        // Pipelined synchronization: the overlapped lock path must beat
+        // the serial baseline on the TSP-like lock storm, and the stride
+        // prefetcher must land hits (and help) on the SOR-like sweep.
+        // The storm's only ordering is the lock handoff itself (a spin on
+        // the turn marker), whose duration is schedule-dependent under
+        // freerun — these two comparisons always run under lockstep so
+        // the asserted margins are exact, not statistical.
+        let lockstep_params = || {
+            let mut p = bench_params();
+            p.sched = tm_sim::SchedMode::Lockstep;
+            Arc::new(p)
+        };
+        let run_lock = |lp: LockPath| {
+            let params = lockstep_params();
+            let cfg = FastConfig::paper(&params);
+            let tcfg = TmkConfig {
+                lock_path: lp,
+                ..tmk_cfg()
+            };
+            let out = run_fast_dsm(2, params, cfg, tcfg, lock_storm_body);
+            out[1].result
+        };
+        let lock_serial = run_lock(LockPath::Serial);
+        let lock_overlapped = run_lock(LockPath::Overlapped);
+        println!(
+            "e2-smoke: lock storm (FAST, ns/round): \
+             serial={lock_serial} overlapped={lock_overlapped}"
+        );
+        assert!(
+            lock_overlapped < lock_serial,
+            "overlapped lock path ({lock_overlapped}) must beat serial ({lock_serial})"
+        );
+        let run_sweep = |depth: usize| {
+            let params = lockstep_params();
+            let cfg = FastConfig::paper(&params);
+            let tcfg = TmkConfig {
+                prefetch_depth: depth,
+                ..tmk_cfg()
+            };
+            let out = run_fast_dsm(2, params, cfg, tcfg, |tmk| {
+                let h = MetricsHandle::install(tmk);
+                let ns = strided_sweep_body(tmk);
+                let hits = h.snapshot().get("prefetch_hit").map_or(0, |e| e.count);
+                tmk.clear_event_hook();
+                (ns, hits)
+            });
+            (out[1].result.0, out[1].result.1)
+        };
+        let (sweep0, hits0) = run_sweep(0);
+        let (sweep8, hits8) = run_sweep(8);
+        println!(
+            "e2-smoke: strided sweep (FAST, ns/page): \
+             depth0={sweep0} depth8={sweep8} hits={hits8}"
+        );
+        assert_eq!(hits0, 0, "depth 0 must keep the prefetcher inert");
+        assert!(hits8 > 0, "stride prefetcher must land hits on the sweep");
+        assert!(
+            sweep8 < sweep0,
+            "prefetched sweep ({sweep8}) must beat the demand-fault sweep ({sweep0})"
+        );
+        println!("e2-smoke: pipelined-sync assertions passed");
     }
 
     // Per-layer event tallies: only when explicitly requested, so the

@@ -50,5 +50,5 @@ pub mod wire;
 
 pub use metrics::{EventStat, LayerMetrics, MetricsHandle};
 pub use substrate::{Chan, IncomingMsg, ShutdownPoll, Substrate};
-pub use tmk::{BarrierAlgo, DiffFetch, SharedId, Tmk, TmkConfig, TmkEvent};
+pub use tmk::{BarrierAlgo, DiffFetch, LockPath, SharedId, Tmk, TmkConfig, TmkEvent};
 pub use vc::VectorClock;

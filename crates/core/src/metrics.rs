@@ -68,6 +68,23 @@ impl Log2Hist {
             .filter(|(_, &c)| c > 0)
             .map(|(i, &c)| (i, c))
     }
+
+    /// The contiguous occupied span: `(bucket_index, count)` from the
+    /// first non-empty bucket through the last, *including* interior
+    /// zeros. This is what [`LayerMetrics::render`] prints — leading and
+    /// trailing empties are skipped but the span itself never develops
+    /// holes, so two runs whose samples land in slightly different
+    /// buckets produce line diffs (`2^i:0` vs `2^i:2`), not column
+    /// shifts.
+    pub fn span(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let first = self.buckets.iter().position(|&c| c > 0);
+        let last = self.buckets.iter().rposition(|&c| c > 0);
+        let range = match (first, last) {
+            (Some(a), Some(b)) => a..b + 1,
+            _ => 0..0,
+        };
+        range.map(|i| (i, self.buckets[i]))
+    }
 }
 
 /// Tally for one event variant.
@@ -96,6 +113,11 @@ pub struct LayerMetrics {
 /// depth, fed from [`TmkEvent::RpcIssued`].
 pub const GAUGE_RPC_DEPTH: &str = "outstanding_rpc_depth";
 
+/// Gauge name for the lock pipeline's high-water overlapped-fetch count
+/// (pages fetched concurrently off a grant's write notices), fed from
+/// [`TmkEvent::LockPipelined`].
+pub const GAUGE_LOCK_PIPELINE: &str = "lock_pipeline_depth";
+
 impl LayerMetrics {
     pub fn record(&mut self, kind: &'static str, now_ns: u64) {
         let e = self.stats.entry(kind).or_insert(EventStat {
@@ -115,8 +137,14 @@ impl LayerMetrics {
     /// mark.
     pub fn record_event(&mut self, ev: &TmkEvent, now_ns: u64) {
         self.record(ev.kind(), now_ns);
-        if let TmkEvent::RpcIssued { depth, .. } = ev {
-            self.gauge_max(GAUGE_RPC_DEPTH, u64::from(*depth));
+        match ev {
+            TmkEvent::RpcIssued { depth, .. } => {
+                self.gauge_max(GAUGE_RPC_DEPTH, u64::from(*depth));
+            }
+            TmkEvent::LockPipelined { fetches, .. } => {
+                self.gauge_max(GAUGE_LOCK_PIPELINE, *fetches as u64);
+            }
+            _ => {}
         }
     }
 
@@ -177,7 +205,7 @@ impl LayerMetrics {
                 e.last_ns as f64 / 1_000.0,
             ));
             out.push_str("  hist(ns)");
-            for (i, c) in e.hist.nonzero() {
+            for (i, c) in e.hist.span() {
                 out.push_str(&format!(" 2^{i}:{c}"));
             }
             out.push('\n');
@@ -277,6 +305,44 @@ mod tests {
         let got: Vec<(usize, u64)> = h.nonzero().collect();
         assert_eq!(got, vec![(0, 1), (1, 1), (2, 2), (21, 1), (43, 1)]);
         assert_eq!(h.count(), 6);
+    }
+
+    #[test]
+    fn span_fills_interior_zeros_only() {
+        let mut h = Log2Hist::default();
+        h.record(2); // bucket 2
+        h.record(1 << 4); // bucket 5
+        let got: Vec<(usize, u64)> = h.span().collect();
+        assert_eq!(got, vec![(2, 1), (3, 0), (4, 0), (5, 1)]);
+        assert_eq!(Log2Hist::default().span().count(), 0);
+    }
+
+    /// The rendered histogram must be a contiguous ascending span —
+    /// leading/trailing empties skipped, interior zeros printed — so two
+    /// runs with slightly different samples diff line-by-line instead of
+    /// shifting columns.
+    #[test]
+    fn render_prints_contiguous_ascending_span() {
+        let mut m = LayerMetrics::default();
+        m.record("k", 2); // bucket 2
+        m.record("k", 1 << 4); // bucket 5
+        let r = m.render();
+        assert!(
+            r.contains("hist(ns) 2^2:1 2^3:0 2^4:0 2^5:1"),
+            "contiguous span: {r}"
+        );
+        assert!(!r.contains("2^0:"), "leading empties skipped: {r}");
+        assert!(!r.contains("2^6:"), "trailing empties skipped: {r}");
+    }
+
+    #[test]
+    fn lock_pipelined_feeds_depth_gauge() {
+        let mut m = LayerMetrics::default();
+        m.record_event(&TmkEvent::LockPipelined { lock: 0, fetches: 2 }, 10);
+        m.record_event(&TmkEvent::LockPipelined { lock: 0, fetches: 9 }, 20);
+        m.record_event(&TmkEvent::LockPipelined { lock: 1, fetches: 4 }, 30);
+        assert_eq!(m.gauge(GAUGE_LOCK_PIPELINE), Some(9));
+        assert_eq!(m.get("lock_pipelined").unwrap().count, 3);
     }
 
     #[test]

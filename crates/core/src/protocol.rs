@@ -51,6 +51,21 @@ pub enum Request {
     /// `Diff` request per page into a single message — the per-node
     /// coalescing arm of the overlapped RPC engine.
     MultiDiff { pages: Vec<(PageId, u32, u32)> },
+    /// Overlapped write-notice distribution (`LockPath::Overlapped`): a
+    /// barrier release pushed as an issued *request* so the releaser can
+    /// fan all consumers through the overlapped engine and collect the
+    /// [`Response::NoticeAck`]s out of order (per-rid retransmission
+    /// replaces the fire-and-forget replay-cache recovery path). The
+    /// consumer completes its own blocked arrival rpc `reply_rid` with
+    /// the equivalent release response. `tree` selects which release
+    /// vocabulary that synthesized response uses.
+    NoticeRelease {
+        barrier: u32,
+        tree: bool,
+        reply_rid: u32,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+    },
 }
 
 /// Synchronous response bodies.
@@ -103,6 +118,10 @@ pub enum Response {
     /// response are simply still owed — the requester's fetch loop
     /// re-requests them.
     MultiDiffs { pages: Vec<(PageId, PageDiffs)> },
+    /// Acknowledgement of a [`Request::NoticeRelease`]: the consumer has
+    /// filed the synthesized release into its blocked arrival rpc. Tiny
+    /// on purpose — the payload already travelled in the request.
+    NoticeAck { barrier: u32 },
 }
 
 /// One page's slice of a [`Response::MultiDiffs`]. Mirrors the
@@ -195,6 +214,17 @@ impl Request {
                     w.u32(*page).u32(*lo).u32(*hi);
                 }
             }
+            Request::NoticeRelease {
+                barrier,
+                tree,
+                reply_rid,
+                vc,
+                records,
+            } => {
+                w.u8(8).u32(*barrier).u8(*tree as u8).u32(*reply_rid);
+                vc.encode(w);
+                encode_records(records, w);
+            }
         }
     }
 
@@ -238,6 +268,13 @@ impl Request {
                 }
                 Request::MultiDiff { pages }
             }
+            8 => Request::NoticeRelease {
+                barrier: r.u32()?,
+                tree: r.u8()? != 0,
+                reply_rid: r.u32()?,
+                vc: VectorClock::decode(&mut r)?,
+                records: decode_records(&mut r)?,
+            },
             _ => return None,
         };
         Some((rid, req))
@@ -354,6 +391,9 @@ impl Response {
                     pd.encode_into(w);
                 }
             }
+            Response::NoticeAck { barrier } => {
+                w.u8(8).u32(*barrier);
+            }
         }
     }
 
@@ -408,6 +448,7 @@ impl Response {
                 }
                 Response::MultiDiffs { pages }
             }
+            8 => Response::NoticeAck { barrier: r.u32()? },
             _ => return None,
         };
         Some((rid, resp))
@@ -584,6 +625,34 @@ mod tests {
         let resp = Response::MultiDiffs { pages: vec![] };
         let buf = resp.encode(8);
         assert_eq!(Response::decode(&buf), Some((8, resp)));
+    }
+
+    #[test]
+    fn notice_release_roundtrips() {
+        let req = Request::NoticeRelease {
+            barrier: 4,
+            tree: true,
+            reply_rid: 310,
+            vc: vc(&[7, 2, 9]),
+            records: vec![rec(2, 9, &[1, 0, 9], &[3, 5])],
+        };
+        let buf = req.encode(61);
+        assert_eq!(Request::decode(&buf), Some((61, req)));
+
+        let flat = Request::NoticeRelease {
+            barrier: 0,
+            tree: false,
+            reply_rid: 12,
+            vc: vc(&[1, 1]),
+            records: vec![],
+        };
+        let buf = flat.encode(62);
+        assert_eq!(Request::decode(&buf), Some((62, flat)));
+
+        let ack = Response::NoticeAck { barrier: 4 };
+        let buf = ack.encode(61);
+        assert!(buf.len() < 16, "ack must be compact");
+        assert_eq!(Response::decode(&buf), Some((61, ack)));
     }
 
     #[test]

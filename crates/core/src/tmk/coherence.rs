@@ -35,6 +35,58 @@ struct PageFetchState {
 /// `(writer, [(page, lo_seq, hi_seq)])`.
 type WriterNeed = (u16, Vec<(PageId, u32, u32)>);
 
+/// Stride-prefetcher state: a detector over the page-fault sequence plus
+/// the speculative requests it has in flight and the payloads they
+/// returned. Inert when `cfg.prefetch_depth == 0` (the default) — the
+/// detector is never consulted and nothing is ever issued.
+///
+/// LRC-safety: a volley only ever asks a writer for seqs that were
+/// *pending on the page at issue time*, and its payload is staged — at
+/// consumption the staged diffs are filtered against the page's *current*
+/// pending set, so a page whose coverage moved on (a full-page adoption, a
+/// repair notice) simply ignores the stale speculation. Speculation can
+/// waste messages; it can never weaken what a fault applies.
+#[derive(Default)]
+pub(super) struct Prefetcher {
+    /// Last faulting page, previous inter-fault stride, and how many
+    /// consecutive faults repeated that stride.
+    last: Option<PageId>,
+    stride: i64,
+    streak: u32,
+    /// Issued, uncollected speculative volleys.
+    volleys: Vec<PrefetchVolley>,
+    /// Collected speculative payloads awaiting the fault that wants them:
+    /// `(page, writer, payload)`.
+    staged: Vec<(PageId, u16, StagedPage)>,
+}
+
+/// One speculative request to one writer: the rid to collect and the
+/// issue-time `(page, lo_seq, hi_seq)` ranges it asked for.
+struct PrefetchVolley {
+    rid: u32,
+    writer: u16,
+    pages: Vec<(PageId, u32, u32)>,
+}
+
+/// A prefetched per-page payload parked until its page faults. Mirrors
+/// the fetch-response vocabulary; `Diffs` keeps the issue-time `lo` so a
+/// repair pending queued *below* it since issue blocks the stale ceiling
+/// from settling anything.
+enum StagedPage {
+    Diffs {
+        lo: u32,
+        covered_hi: u32,
+        diffs: Vec<(u32, Diff)>,
+    },
+    Full {
+        applied: Vec<u32>,
+        data: Vec<u8>,
+    },
+    Zero {
+        applied: Vec<u32>,
+    },
+}
+
 fn covered_of(covered: &[(u16, u32)], node: u16) -> u32 {
     covered
         .iter()
@@ -333,6 +385,7 @@ impl<S: Substrate> Tmk<S> {
                 let fault = self.sub.params().dsm.page_fault;
                 self.clock().borrow_mut().advance(fault);
                 self.clock().borrow_mut().stats.page_faults += 1;
+                self.prefetch_note_fault(pid);
                 self.fetch_page(pid);
                 self.fetch_pending_diffs(pid);
             }
@@ -340,6 +393,7 @@ impl<S: Substrate> Tmk<S> {
                 let fault = self.sub.params().dsm.page_fault;
                 self.clock().borrow_mut().advance(fault);
                 self.clock().borrow_mut().stats.page_faults += 1;
+                self.prefetch_note_fault(pid);
                 self.fetch_pending_diffs(pid);
             }
         }
@@ -539,6 +593,7 @@ impl<S: Substrate> Tmk<S> {
                     let fault = self.sub.params().dsm.page_fault;
                     self.clock().borrow_mut().advance(fault);
                     self.clock().borrow_mut().stats.page_faults += 1;
+                    self.prefetch_note_fault(pid);
                     self.fetch_page(pid);
                     faulted.push(pid);
                 }
@@ -546,6 +601,7 @@ impl<S: Substrate> Tmk<S> {
                     let fault = self.sub.params().dsm.page_fault;
                     self.clock().borrow_mut().advance(fault);
                     self.clock().borrow_mut().stats.page_faults += 1;
+                    self.prefetch_note_fault(pid);
                     faulted.push(pid);
                 }
             }
@@ -572,6 +628,7 @@ impl<S: Substrate> Tmk<S> {
                 covered: Vec::new(),
             })
             .collect();
+        self.prefetch_harvest(&mut states);
         loop {
             // Owed ranges this round, grouped by writer.
             let mut need: Vec<WriterNeed> = Vec::new();
@@ -656,6 +713,275 @@ impl<S: Substrate> Tmk<S> {
         for st in states {
             self.apply_fetched_page(st);
         }
+    }
+
+    // ----- stride prefetcher ------------------------------------------------
+
+    /// Feed one page fault to the stride detector; on a confirmed
+    /// constant stride, speculatively issue diff fetches for the next
+    /// `prefetch_depth` predicted pages.
+    fn prefetch_note_fault(&mut self, pid: PageId) {
+        if self.cfg.prefetch_depth == 0 {
+            return;
+        }
+        let Some(prev) = self.pf.last.replace(pid) else {
+            return;
+        };
+        let stride = pid as i64 - prev as i64;
+        if stride != 0 && stride == self.pf.stride {
+            self.pf.streak += 1;
+        } else {
+            self.pf.stride = stride;
+            self.pf.streak = u32::from(stride != 0);
+        }
+        if self.pf.streak >= 2 {
+            self.prefetch_issue(pid);
+        }
+    }
+
+    /// Issue speculative volleys for the predicted window
+    /// `origin + stride .. origin + depth * stride`: only pages that are
+    /// invalid with pending notices, not already in flight or staged. The
+    /// requests ride the overlapped engine — the faulting page's demand
+    /// fetch proceeds while these are in the air.
+    fn prefetch_issue(&mut self, origin: PageId) {
+        let stride = self.pf.stride;
+        let mut need: Vec<WriterNeed> = Vec::new();
+        let mut targets: Vec<PageId> = Vec::new();
+        for k in 1..=self.cfg.prefetch_depth as i64 {
+            let t = origin as i64 + stride * k;
+            if t < 0 || t as usize >= self.pages.len() {
+                break;
+            }
+            let pid = t as PageId;
+            if self
+                .pf
+                .volleys
+                .iter()
+                .any(|v| v.pages.iter().any(|&(p, _, _)| p == pid))
+                || self.pf.staged.iter().any(|&(p, _, _)| p == pid)
+            {
+                continue;
+            }
+            let page = &self.pages[pid as usize];
+            if !matches!(page.state, Access::Invalid | Access::WriteInvalid)
+                || page.pending.is_empty()
+            {
+                continue;
+            }
+            for p in &page.pending {
+                let pages = match need.iter_mut().position(|(n, _)| *n == p.node) {
+                    Some(i) => &mut need[i].1,
+                    None => {
+                        need.push((p.node, Vec::new()));
+                        &mut need.last_mut().expect("just pushed").1
+                    }
+                };
+                match pages.iter_mut().find(|(q, _, _)| *q == pid) {
+                    Some((_, lo, hi)) => {
+                        *lo = (*lo).min(p.seq);
+                        *hi = (*hi).max(p.seq);
+                    }
+                    None => pages.push((pid, p.seq, p.seq)),
+                }
+            }
+            targets.push(pid);
+        }
+        for (writer, pages) in need {
+            let req = if pages.len() == 1 {
+                let (pid, lo, hi) = pages[0];
+                Request::Diff { page: pid, lo, hi }
+            } else {
+                Request::MultiDiff {
+                    pages: pages.clone(),
+                }
+            };
+            let rid = self.rpc_issue(writer as usize, req);
+            self.pf.volleys.push(PrefetchVolley { rid, writer, pages });
+        }
+        for pid in targets {
+            self.emit(TmkEvent::PrefetchIssued { page: pid });
+        }
+    }
+
+    /// Collect every volley that targets one of the faulting pages and
+    /// fold the staged payloads for those pages into the fetch states.
+    /// Payloads for pages *not* faulting stay staged for their own fault;
+    /// volleys with no page in the batch stay in the air.
+    fn prefetch_harvest(&mut self, states: &mut [PageFetchState]) {
+        if self.pf.volleys.is_empty() && self.pf.staged.is_empty() {
+            return;
+        }
+        let mut due: Vec<PrefetchVolley> = Vec::new();
+        let mut i = 0;
+        while i < self.pf.volleys.len() {
+            let hit = self.pf.volleys[i]
+                .pages
+                .iter()
+                .any(|&(p, _, _)| states.iter().any(|s| s.pid == p));
+            if hit {
+                due.push(self.pf.volleys.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        for v in due {
+            let resp = self.rpc_collect(v.rid);
+            self.stage_response(&v, resp);
+        }
+        let staged = std::mem::take(&mut self.pf.staged);
+        let mut hits: Vec<PageId> = Vec::new();
+        for (pid, writer, payload) in staged {
+            if !states.iter().any(|s| s.pid == pid) {
+                self.pf.staged.push((pid, writer, payload));
+                continue;
+            }
+            if !hits.contains(&pid) {
+                hits.push(pid);
+            }
+            match payload {
+                StagedPage::Diffs {
+                    lo,
+                    covered_hi,
+                    diffs,
+                } => {
+                    // Validity check at apply time: only diffs the page
+                    // still awaits are usable; a pending queued *below*
+                    // the issued floor since (a repair) blocks the stale
+                    // ceiling from settling anything.
+                    let pending = &self.pages[pid as usize].pending;
+                    let filtered: Vec<(u32, Diff)> = diffs
+                        .into_iter()
+                        .filter(|(seq, _)| {
+                            pending.iter().any(|p| p.node == writer && p.seq == *seq)
+                        })
+                        .collect();
+                    let eff = if pending.iter().any(|p| p.node == writer && p.seq < lo) {
+                        0
+                    } else {
+                        covered_hi
+                    };
+                    if !filtered.is_empty() || eff > 0 {
+                        let st = states
+                            .iter_mut()
+                            .find(|s| s.pid == pid)
+                            .expect("membership checked above");
+                        self.absorb_page_diffs(st, writer, eff, filtered);
+                    }
+                }
+                StagedPage::Full { applied, data } => {
+                    self.adopt_fetched_full(states, pid, applied, data);
+                }
+                StagedPage::Zero { applied } => {
+                    let zeros = vec![0u8; self.page_size];
+                    self.adopt_fetched_full(states, pid, applied, zeros);
+                }
+            }
+        }
+        for pid in hits {
+            self.emit(TmkEvent::PrefetchHit { page: pid });
+        }
+    }
+
+    /// Break a volley's response into per-page staged payloads. Pages the
+    /// responder omitted under its message budget simply never stage —
+    /// speculation is never re-requested.
+    fn stage_response(&mut self, v: &PrefetchVolley, resp: Response) {
+        let lo_of = |pid: PageId| {
+            v.pages
+                .iter()
+                .find(|&&(p, _, _)| p == pid)
+                .map(|&(_, lo, _)| lo)
+                .unwrap_or(0)
+        };
+        match resp {
+            Response::Diffs {
+                page,
+                covered_hi,
+                diffs,
+            } => {
+                let lo = lo_of(page);
+                self.pf.staged.push((
+                    page,
+                    v.writer,
+                    StagedPage::Diffs {
+                        lo,
+                        covered_hi,
+                        diffs,
+                    },
+                ));
+            }
+            Response::MultiDiffs { pages } => {
+                for (page, pd) in pages {
+                    let entry = match pd {
+                        PageDiffs::Diffs { covered_hi, diffs } => StagedPage::Diffs {
+                            lo: lo_of(page),
+                            covered_hi,
+                            diffs,
+                        },
+                        PageDiffs::Full { applied, data } => StagedPage::Full { applied, data },
+                        PageDiffs::Zero { applied } => StagedPage::Zero { applied },
+                    };
+                    self.pf.staged.push((page, v.writer, entry));
+                }
+            }
+            Response::FullPage { page, applied, data } => {
+                self.pf
+                    .staged
+                    .push((page, v.writer, StagedPage::Full { applied, data }));
+            }
+            Response::ZeroPage { page, applied } => {
+                self.pf
+                    .staged
+                    .push((page, v.writer, StagedPage::Zero { applied }));
+            }
+            other => panic!("expected diff/page payload for prefetch, got {other:?}"),
+        }
+    }
+
+    /// Settle all speculative state: collect what is still in the air and
+    /// discard every unused payload, counting it wasted. Called on barrier
+    /// entry — nothing issued against the old epoch survives it — and a
+    /// no-op whenever the prefetcher is inert.
+    pub(super) fn prefetch_drain(&mut self) {
+        let volleys = std::mem::take(&mut self.pf.volleys);
+        for v in volleys {
+            let _ = self.rpc_collect(v.rid);
+            for &(pid, _, _) in &v.pages {
+                self.emit(TmkEvent::PrefetchWasted { page: pid });
+            }
+        }
+        for (pid, _, _) in std::mem::take(&mut self.pf.staged) {
+            self.emit(TmkEvent::PrefetchWasted { page: pid });
+        }
+        self.pf.last = None;
+        self.pf.stride = 0;
+        self.pf.streak = 0;
+    }
+
+    /// The lock pipeline's fetch arm: batch-fetch every (mapped, invalid,
+    /// pending) page in `pids` through the overlapped engine, charging no
+    /// page faults — the point is that the faults never happen. Returns
+    /// how many pages were fetched.
+    pub(super) fn pipeline_fetch(&mut self, pids: &[PageId]) -> usize {
+        let mut targets: Vec<PageId> = Vec::new();
+        for &pid in pids {
+            if (pid as usize) < self.pages.len()
+                && !targets.contains(&pid)
+                && matches!(
+                    self.pages[pid as usize].state,
+                    Access::Invalid | Access::WriteInvalid
+                )
+                && !self.pages[pid as usize].pending.is_empty()
+            {
+                targets.push(pid);
+            }
+        }
+        if targets.is_empty() {
+            return 0;
+        }
+        self.fetch_diffs_batch(&targets);
+        targets.len()
     }
 
     fn note_fanout(&mut self, writers: usize, requests: usize) {

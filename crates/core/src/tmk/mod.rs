@@ -100,6 +100,24 @@ pub enum DiffFetch {
     Coalesced,
 }
 
+/// How the sync layer moves write notices and the fetches they imply —
+/// the synchronization-pipelining knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockPath {
+    /// One blocking rpc per step, faults fetched lazily one page at a
+    /// time inside the critical section — the TreadMarks specification
+    /// baseline, message-for-message.
+    Serial,
+    /// Pipeline the synchronization paths through the overlapped RPC
+    /// engine: a grant's write notices trigger one overlapped batch
+    /// fetch of every page they invalidate (acquire+read cost ≈
+    /// grant + max fetch instead of grant + Σ per-page round trips), and
+    /// a barrier release with multiple downstream consumers distributes
+    /// its notices via issued requests whose acks are collected out of
+    /// order.
+    Overlapped,
+}
+
 /// Runtime tunables.
 #[derive(Debug, Clone)]
 pub struct TmkConfig {
@@ -111,6 +129,14 @@ pub struct TmkConfig {
     pub barrier_algo: BarrierAlgo,
     /// How pending diffs are fetched at a page fault.
     pub diff_fetch: DiffFetch,
+    /// How lock grants and write-notice distribution are pipelined.
+    pub lock_path: LockPath,
+    /// Stride-prefetcher depth: on a detected constant-stride fault
+    /// sequence, speculatively fetch up to this many predicted pages
+    /// ahead through the overlapped engine (0 disables). Prefetched data
+    /// is staged and validated against the page's current write-notice
+    /// coverage at apply time, so the knob never weakens LRC.
+    pub prefetch_depth: usize,
 }
 
 impl Default for TmkConfig {
@@ -120,6 +146,8 @@ impl Default for TmkConfig {
             barrier_manager: 0,
             barrier_algo: BarrierAlgo::Centralized,
             diff_fetch: DiffFetch::Coalesced,
+            lock_path: LockPath::Serial,
+            prefetch_depth: 0,
         }
     }
 }
@@ -157,6 +185,19 @@ pub enum TmkEvent {
     /// `writers` distinct nodes in one round (parallel/coalesced engines
     /// only; a serial fetch never emits this).
     DiffFanout { writers: u16, requests: u16 },
+    /// The sync layer overlapped `fetches` page fetches implied by a
+    /// grant's write notices with the tail of lock acquire `lock`
+    /// (`LockPath::Overlapped` only; feeds the lock-pipeline depth
+    /// gauge).
+    LockPipelined { lock: u32, fetches: usize },
+    /// The stride prefetcher speculatively requested `page`'s pending
+    /// diffs.
+    PrefetchIssued { page: PageId },
+    /// A page fault consumed staged prefetched data for `page`.
+    PrefetchHit { page: PageId },
+    /// Staged prefetched data for `page` was discarded unconsumed (sync-
+    /// point drain or stale coverage).
+    PrefetchWasted { page: PageId },
 }
 
 impl TmkEvent {
@@ -173,6 +214,10 @@ impl TmkEvent {
             TmkEvent::BarrierReleaseFanned { .. } => "barrier_release_fanned",
             TmkEvent::RpcIssued { .. } => "rpc_issued",
             TmkEvent::DiffFanout { .. } => "diff_fanout",
+            TmkEvent::LockPipelined { .. } => "lock_pipelined",
+            TmkEvent::PrefetchIssued { .. } => "prefetch_issued",
+            TmkEvent::PrefetchHit { .. } => "prefetch_hit",
+            TmkEvent::PrefetchWasted { .. } => "prefetch_wasted",
         }
     }
 }
@@ -207,6 +252,10 @@ pub struct Tmk<S: Substrate> {
     /// Pages twinned in the current (open) interval.
     dirty: Vec<PageId>,
     last_barrier_vc: VectorClock,
+    /// Stride-prefetcher state: fault-sequence detector plus in-flight
+    /// speculative volleys and staged (collected, not yet applied)
+    /// responses. Inert when `cfg.prefetch_depth == 0`.
+    pf: coherence::Prefetcher,
     // sync layer -------------------------------------------------------
     locks: Vec<LockState>,
     barrier: BarrierEpisode,
@@ -240,6 +289,7 @@ impl<S: Substrate> Tmk<S> {
             allocated_pages: 0,
             regions: Vec::new(),
             dirty: Vec::new(),
+            pf: coherence::Prefetcher::default(),
             locks: Vec::new(),
             barrier: BarrierEpisode::new(n),
             last_barrier_vc: VectorClock::new(n),

@@ -203,6 +203,13 @@ impl<S: Substrate> Tmk<S> {
                 vc,
                 records,
             } => self.serve_tree_arrive(from, rid, barrier, min_vc, vc, records, arrival, cost),
+            Request::NoticeRelease {
+                barrier,
+                tree,
+                reply_rid,
+                vc,
+                records,
+            } => self.serve_notice_release(from, rid, barrier, tree, reply_rid, vc, records, arrival, cost),
         }
         self.emit(TmkEvent::RequestServed { from, rid });
         // Handlers that responded already cleared this via the remember
@@ -390,6 +397,12 @@ impl<S: Substrate> Tmk<S> {
                 return resp;
             }
             self.drain_serve_queue();
+            // Re-check after the drain: serving a `NoticeRelease` completes
+            // one of our *own* slots locally — blocking below with the
+            // answer already in hand would deadlock a reliable transport.
+            if let Some(resp) = self.take_collected(rid) {
+                return resp;
+            }
             self.clock().borrow_mut().begin_wait();
             if lossy {
                 let deadline = self
@@ -403,6 +416,23 @@ impl<S: Substrate> Tmk<S> {
                 let msg = self.sub.next_incoming();
                 self.absorb(msg);
             }
+        }
+    }
+
+    /// File `resp` into the local outstanding slot for `rid`, as if it had
+    /// arrived on the wire — the overlapped write-notice path delivers the
+    /// release payload *inside* a request, and the consumer completes its
+    /// own blocked arrival rpc with the synthesized response. Returns
+    /// `false` (and drops `resp`) when the slot is absent or already
+    /// answered: a retransmitted `NoticeRelease` after the original landed.
+    pub(super) fn complete_local(&mut self, rid: u32, resp: Response) -> bool {
+        match self.outstanding.iter().position(|o| o.rid == rid) {
+            Some(i) if self.outstanding[i].response.is_none() => {
+                trace!(self, "complete-local rid={rid} resp={resp:?}");
+                self.outstanding[i].response = Some(resp);
+                true
+            }
+            _ => false,
         }
     }
 

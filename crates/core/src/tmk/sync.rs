@@ -339,12 +339,31 @@ impl<S: Substrate> Tmk<S> {
         match resp {
             Response::Grant { lock: l, vc, records } => {
                 assert_eq!(l, lock);
+                // Under the overlapped lock path the pages these records
+                // invalidate are fetched *now*, as one concurrent batch,
+                // instead of one fault round-trip at a time inside the
+                // critical section — acquire latency becomes
+                // max(grant, fetch) rather than their sum.
+                let pipelined: Vec<crate::page::PageId> = match self.cfg.lock_path {
+                    super::LockPath::Serial => Vec::new(),
+                    super::LockPath::Overlapped => records
+                        .iter()
+                        .filter(|r| r.node != self.me)
+                        .flat_map(|r| r.pages.iter().copied())
+                        .collect(),
+                };
                 let cost = self.apply_records(records);
                 self.vc.join(&vc);
                 self.clock().borrow_mut().advance(cost);
                 let ls = &mut self.locks[lock as usize];
                 ls.have_token = true;
                 ls.busy = true;
+                if !pipelined.is_empty() {
+                    let fetches = self.pipeline_fetch(&pipelined);
+                    if fetches > 0 {
+                        self.emit(TmkEvent::LockPipelined { lock, fetches });
+                    }
+                }
             }
             other => panic!("expected Grant, got {other:?}"),
         }
@@ -459,6 +478,10 @@ impl<S: Substrate> Tmk<S> {
     /// `Tmk_barrier`.
     pub fn barrier(&mut self, id: u32) {
         trace!(self, "barrier {id} enter");
+        // Settle speculative traffic before synchronizing: in-flight
+        // prefetch volleys are collected (and their stale stages
+        // discarded) so nothing issued against the old epoch survives it.
+        self.prefetch_drain();
         let flush_cost = self.flush_interval();
         self.clock().borrow_mut().advance(flush_cost);
         self.clock().borrow_mut().stats.barriers += 1;
@@ -646,6 +669,15 @@ impl<S: Substrate> Tmk<S> {
     ) {
         let tree = self.tree_radix().is_some();
         let offloaded = matches!(self.cfg.barrier_algo, super::BarrierAlgo::NicTree { .. });
+        if matches!(self.cfg.lock_path, super::LockPath::Overlapped) && id != u32::MAX && !offloaded
+        {
+            // Overlapped write-notice distribution: every consumer's
+            // release goes out as an issued request; acks collect out of
+            // order. The exit barrier stays serial (a consumer may tear
+            // down its NIC before a retransmitted notice reaches it), as
+            // does the NIC-offloaded fan (its cost model is the point).
+            return self.fan_release_overlapped(id, tree, clients, merged);
+        }
         let mut fanned = 0u16;
         for (node, slot) in clients.into_iter().enumerate() {
             let Some((rid, floor, _)) = slot else { continue };
@@ -684,6 +716,85 @@ impl<S: Substrate> Tmk<S> {
                 children: fanned,
             });
         }
+    }
+
+    /// [`Self::fan_release`] on the overlapped engine: one
+    /// [`Request::NoticeRelease`] per consumer, all issued before any ack
+    /// is collected. Each consumer synthesizes its own release response
+    /// from the request payload (see [`Self::serve_notice_release`]), so
+    /// the notices gain per-rid retransmission — on lossy wires a dropped
+    /// release is re-driven by *our* timer instead of waiting out the
+    /// consumer's arrival retransmission.
+    fn fan_release_overlapped(
+        &mut self,
+        id: u32,
+        tree: bool,
+        clients: Vec<Option<(u32, VectorClock, VectorClock)>>,
+        merged: &VectorClock,
+    ) {
+        let mut acks: Vec<u32> = Vec::new();
+        for (node, slot) in clients.into_iter().enumerate() {
+            let Some((rid, floor, _)) = slot else { continue };
+            let records = self.log.newer_than(&floor);
+            let nrid = self.rpc_issue(
+                node,
+                Request::NoticeRelease {
+                    barrier: id,
+                    tree,
+                    reply_rid: rid,
+                    vc: merged.clone(),
+                    records,
+                },
+            );
+            acks.push(nrid);
+        }
+        let fanned = acks.len() as u16;
+        for nrid in acks {
+            match self.rpc_collect(nrid) {
+                Response::NoticeAck { barrier } => {
+                    assert_eq!(barrier, id, "ack for barrier {barrier}, expected {id}")
+                }
+                other => panic!("expected NoticeAck, got {other:?}"),
+            }
+        }
+        if tree && fanned > 0 {
+            self.emit(TmkEvent::BarrierReleaseFanned {
+                barrier: id,
+                children: fanned,
+            });
+        }
+    }
+
+    /// A releaser's `NoticeRelease` reached us: synthesize the barrier
+    /// release it carries, file it into our own blocked arrival rpc
+    /// (`reply_rid`), and ack. A duplicate whose original already landed
+    /// finds the slot gone and just re-acks — idempotent by construction.
+    // The parameter list mirrors the NoticeRelease wire fields one-to-one.
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn serve_notice_release(
+        &mut self,
+        from: usize,
+        rid: u32,
+        barrier: u32,
+        tree: bool,
+        reply_rid: u32,
+        vc: VectorClock,
+        records: Vec<IntervalRecord>,
+        arrival: Ns,
+        mut cost: Ns,
+    ) {
+        cost += Ns(200 * records.len() as u64);
+        let release = if tree {
+            Response::BarrierTreeRelease {
+                barrier,
+                vc,
+                records,
+            }
+        } else {
+            Response::BarrierRelease { vc, records }
+        };
+        self.complete_local(reply_rid, release);
+        self.respond(from, rid, Response::NoticeAck { barrier }, arrival, cost);
     }
 
     /// Final synchronization before the node thread returns: a barrier, so

@@ -178,6 +178,33 @@ impl UdpSubstrate {
             None => ShutdownPoll::Quiet,
         }
     }
+
+    /// Lockstep shutdown linger: block until a late datagram is served or
+    /// every watched peer's NIC deregistration lands as a scheduler
+    /// `Done` event. No wall-clock `peers_alive` poll and no rto quantum
+    /// count — both the served-message set and the lingering node's final
+    /// virtual clock are deterministic.
+    fn linger_done_watch(&mut self, watch: &[usize]) -> ShutdownPoll {
+        match self.udp.recv_any_or_dead(&[REQ_SOCK, REP_SOCK], watch) {
+            Some((sock, d)) => match self.handle(sock, d) {
+                Some(msg) => ShutdownPoll::Msg(msg),
+                None => ShutdownPoll::Quiet,
+            },
+            None => ShutdownPoll::Done,
+        }
+    }
+
+    /// All peers of this node (the cluster-wide linger's watch set).
+    fn all_peers(&self) -> Vec<usize> {
+        let me = self.udp.node();
+        (0..self.udp.nprocs()).filter(|&i| i != me).collect()
+    }
+
+    /// Whether this cluster runs under the conservative lockstep
+    /// scheduler (selects the deterministic linger path).
+    fn lockstep(&self) -> bool {
+        self.udp.params().sched == tm_sim::SchedMode::Lockstep
+    }
 }
 
 impl Substrate for UdpSubstrate {
@@ -277,6 +304,10 @@ impl Substrate for UdpSubstrate {
     }
 
     fn shutdown_poll(&mut self) -> ShutdownPoll {
+        if self.lockstep() {
+            let watch = self.all_peers();
+            return self.linger_done_watch(&watch);
+        }
         if !self.udp.peers_alive() {
             return ShutdownPoll::Done;
         }
@@ -284,6 +315,9 @@ impl Substrate for UdpSubstrate {
     }
 
     fn shutdown_poll_watching(&mut self, watch: &[usize]) -> ShutdownPoll {
+        if self.lockstep() {
+            return self.linger_done_watch(watch);
+        }
         if !self.udp.peers_alive_in(watch) {
             return ShutdownPoll::Done;
         }

@@ -328,6 +328,7 @@ impl NicHandle {
             }
             match sched.park(self.node, sig, Some(deadline), floor) {
                 WakeReason::Delivered => continue,
+                WakeReason::PeersDone => unreachable!("plain parks carry no done-watch"),
                 WakeReason::Timeout => {
                     self.drain();
                     if let Some(i) = self.best_queued_idx(Some(ports)) {
@@ -338,6 +339,48 @@ impl NicHandle {
                     }
                     return None;
                 }
+            }
+        }
+    }
+
+    /// Lockstep-only shutdown-linger receive: block until a packet is
+    /// available on any of `ports`, or until every node in `watch` has
+    /// deregistered its NIC (dropped its handle), in which case `None`
+    /// is returned. Deregistration is routed through the scheduler as a
+    /// `Done` event ([`tm_sim::LockstepSched::park_done_watch`]), so the
+    /// exact set of packets served before the `None` — and therefore
+    /// every post-exit counter — is deterministic; no wall-clock
+    /// liveness flag is consulted. `floor` as in
+    /// [`NicHandle::recv_any_floored`].
+    pub fn recv_any_done_watch(
+        &mut self,
+        ports: &[u16],
+        watch: &[NodeId],
+        floor: Ns,
+    ) -> Option<RawPacket> {
+        let sched = self
+            .fabric
+            .sched()
+            .cloned()
+            .expect("recv_any_done_watch requires SchedMode::Lockstep");
+        loop {
+            let sig = sched.delivery_count(self.node);
+            self.drain();
+            if let Some(i) = self.best_queued_idx(Some(ports)) {
+                return self.queues[i].1.pop_front();
+            }
+            match sched.park_done_watch(self.node, watch, sig, floor) {
+                WakeReason::Delivered => continue,
+                WakeReason::PeersDone => {
+                    // The watched peers' final transmits were granted
+                    // before their drops; one last drain picks them up.
+                    self.drain();
+                    return match self.best_queued_idx(Some(ports)) {
+                        Some(i) => self.queues[i].1.pop_front(),
+                        None => None,
+                    };
+                }
+                WakeReason::Timeout => unreachable!("no deadline on a done-watch park"),
             }
         }
     }

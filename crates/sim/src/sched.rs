@@ -93,6 +93,10 @@ pub enum WakeReason {
     Delivered,
     /// The park's virtual deadline became the cluster's next event.
     Timeout,
+    /// Every node in the park's done-watch set has deregistered its NIC
+    /// ([`LockstepSched::mark_done`]); only
+    /// [`LockstepSched::park_done_watch`] reports this.
+    PeersDone,
 }
 
 /// A totally ordered event key: virtual time, then node id, then the
@@ -112,8 +116,14 @@ enum St {
     /// Blocked in `request_transmit`, waiting for its key to be granted.
     Pending { key: Key, floor_after: Ns },
     /// Blocked in `park`: waiting for a delivery, and — if `deadline` is
-    /// set — for at most that much virtual time.
-    Parked { deadline: Option<Key>, floor: Ns },
+    /// set — for at most that much virtual time. `watch` (set only by
+    /// `park_done_watch`) additionally releases the park once every
+    /// listed node is `Done` — NIC deregistration as a scheduler event.
+    Parked {
+        deadline: Option<Key>,
+        floor: Ns,
+        watch: Option<Vec<usize>>,
+    },
     /// The node's NIC has left the fabric; it produces no more events.
     Done,
 }
@@ -269,7 +279,50 @@ impl LockstepSched {
             let seq = s.nodes[node].next_seq();
             Key { t, node, seq }
         });
-        s.nodes[node].st = St::Parked { deadline, floor };
+        s.nodes[node].st = St::Parked {
+            deadline,
+            floor,
+            watch: None,
+        };
+        self.dispatch(&mut s);
+        loop {
+            if let Some(reason) = s.nodes[node].release.take() {
+                return reason;
+            }
+            s = self.cvs[node].wait(s).unwrap();
+        }
+    }
+
+    /// Park `node` until a packet is delivered to it or every node in
+    /// `watch` has deregistered its NIC ([`LockstepSched::mark_done`]).
+    /// Returns [`WakeReason::PeersDone`] immediately when the watch set
+    /// is already drained. This is what makes shutdown lingers
+    /// deterministic: "have my peers exited?" stops being a wall-clock
+    /// poll of liveness flags and becomes an ordered scheduler event —
+    /// the release is serialized against every delivery and grant, so the
+    /// number of messages a lingering manager serves before concluding
+    /// `Done` is a pure function of the program.
+    ///
+    /// `seen_deliveries` and `floor` are as for [`LockstepSched::park`].
+    pub fn park_done_watch(
+        &self,
+        node: usize,
+        watch: &[usize],
+        seen_deliveries: u64,
+        floor: Ns,
+    ) -> WakeReason {
+        let mut s = self.state.lock().unwrap();
+        if s.nodes[node].deliveries != seen_deliveries {
+            return WakeReason::Delivered;
+        }
+        if watch.iter().all(|&w| matches!(s.nodes[w].st, St::Done)) {
+            return WakeReason::PeersDone;
+        }
+        s.nodes[node].st = St::Parked {
+            deadline: None,
+            floor,
+            watch: Some(watch.to_vec()),
+        };
         self.dispatch(&mut s);
         loop {
             if let Some(reason) = s.nodes[node].release.take() {
@@ -342,6 +395,7 @@ impl LockstepSched {
         }
         match self.park(node, seen_deliveries, Some(t), floor) {
             WakeReason::Delivered => false,
+            WakeReason::PeersDone => unreachable!("plain parks carry no done-watch"),
             WakeReason::Timeout => {
                 let mut s = self.state.lock().unwrap();
                 let la = s.nodes[node].lookahead;
@@ -364,6 +418,32 @@ impl LockstepSched {
             // (a panic mid-reservation); free the token so the rest of
             // the cluster can drain and surface the failure.
             s.token_owner = None;
+        }
+        // This deregistration may complete a done-watch: release every
+        // parked watcher whose whole watch set is now `Done`. Ordering is
+        // deterministic — the watcher only parked after draining its
+        // inbox, and this node's final transmits were granted (program
+        // order) before its drop reached here.
+        let released: Vec<usize> = s
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| match &n.st {
+                St::Parked {
+                    watch: Some(w), ..
+                } => w.iter().all(|&x| matches!(s.nodes[x].st, St::Done)),
+                _ => false,
+            })
+            .map(|(i, _)| i)
+            .collect();
+        for i in released {
+            let floor = match s.nodes[i].st {
+                St::Parked { floor, .. } => floor,
+                _ => unreachable!(),
+            };
+            s.nodes[i].st = St::Running { floor };
+            s.nodes[i].release = Some(WakeReason::PeersDone);
+            self.cvs[i].notify_all();
         }
         self.dispatch(&mut s);
     }
@@ -636,6 +716,45 @@ mod tests {
         sched.deliver_locked(&mut s, 1, Ns(42));
         drop(s);
         assert!(!sched.poll_quiesce(1, Ns(100), seen, Ns(0)));
+    }
+
+    /// A done-watch park releases with `PeersDone` when the last watched
+    /// node deregisters, and immediately when the set is already done.
+    #[test]
+    fn done_watch_park_releases_on_mark_done() {
+        let sched = Arc::new(LockstepSched::new(3));
+        let s2 = Arc::clone(&sched);
+        let t = thread::spawn(move || {
+            let seen = s2.delivery_count(0);
+            s2.park_done_watch(0, &[1, 2], seen, Ns(100))
+        });
+        sched.mark_done(1);
+        // One peer alive: the watcher must still be parked; give the
+        // spawned thread a chance to park before the final mark_done.
+        thread::sleep(std::time::Duration::from_millis(5));
+        sched.mark_done(2);
+        assert_eq!(t.join().unwrap(), WakeReason::PeersDone);
+        // Already-drained watch sets settle inline.
+        let seen = sched.delivery_count(0);
+        assert_eq!(
+            sched.park_done_watch(0, &[1, 2], seen, Ns(100)),
+            WakeReason::PeersDone
+        );
+    }
+
+    /// A delivery beats the done-watch: the watcher wakes `Delivered`,
+    /// serves, and only concludes `PeersDone` on a re-park.
+    #[test]
+    fn done_watch_park_yields_to_deliveries() {
+        let sched = LockstepSched::new(2);
+        let seen = sched.delivery_count(0);
+        let mut s = sched.state.lock().unwrap();
+        sched.deliver_locked(&mut s, 0, Ns(42));
+        drop(s);
+        assert_eq!(
+            sched.park_done_watch(0, &[1], seen, Ns(0)),
+            WakeReason::Delivered
+        );
     }
 
     #[test]

@@ -570,6 +570,34 @@ impl UdpStack {
         }
     }
 
+    /// Shutdown-linger receive under lockstep: block until a datagram is
+    /// ready on any of `ports` or every node in `watch` has deregistered
+    /// its NIC — the latter returns `None` and is the deterministic
+    /// "all peers exited" signal (NIC deregistration is a scheduler
+    /// `Done` event; no wall-clock liveness flag is read, so the set of
+    /// late datagrams served before `None` is a pure function of the
+    /// program). Panics unless the cluster runs under
+    /// `SchedMode::Lockstep`; free-running lingers keep the wall-clock
+    /// quantum of [`recv_any_timeout`](UdpStack::recv_any_timeout).
+    pub fn recv_any_or_dead(
+        &mut self,
+        ports: &[u16],
+        watch: &[usize],
+    ) -> Option<(u16, Datagram)> {
+        self.clock.borrow_mut().advance(self.params.host.syscall); // select()
+        loop {
+            if let Some((port, _)) = self.earliest_queued(ports) {
+                return Some(self.pop_ready(port));
+            }
+            let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
+            let floor = self.sched_floor();
+            match self.nic.recv_any_done_watch(&filter, watch, floor) {
+                Some(pkt) => self.admit(pkt),
+                None => return None,
+            }
+        }
+    }
+
     /// Does any bound SIGIO socket have traffic (regardless of virtual
     /// readiness)? The substrate uses this to decide whether a signal
     /// would have been raised.
