@@ -52,6 +52,19 @@ pub enum ShutdownPoll {
     Msg(IncomingMsg),
 }
 
+/// Outcome of a deadline-bounded wait that also watches for peer
+/// departure (see
+/// [`Substrate::next_incoming_until_watching`]).
+#[derive(Debug)]
+pub enum WaitOutcome {
+    /// A message arrived (request or response).
+    Msg(IncomingMsg),
+    /// The virtual deadline passed first; the clock has advanced to it.
+    Deadline,
+    /// Every watched peer's NIC left the fabric first.
+    PeersDone,
+}
+
 /// A message delivered by the substrate.
 #[derive(Debug)]
 pub struct IncomingMsg {
@@ -130,12 +143,37 @@ pub trait Substrate {
         Some(self.next_incoming())
     }
 
+    /// Like [`next_incoming_until`](Substrate::next_incoming_until) but
+    /// additionally resolves when every node in `watch` has deregistered
+    /// its NIC. This is the exit fan's wait: a retransmission timer armed
+    /// against a peer that is already gone must *cancel* instead of
+    /// firing into a dead node (the peer can only have exited after its
+    /// release was applied, so the pending rpc is moot). Transports
+    /// without a loss model never arm the timer, so the default simply
+    /// blocks.
+    fn next_incoming_until_watching(&mut self, _deadline: Ns, _watch: &[usize]) -> WaitOutcome {
+        WaitOutcome::Msg(self.next_incoming())
+    }
+
     /// Initial retransmission timeout, if this transport needs DSM-level
     /// reliability under the current fault plan. `None` (the default, and
     /// the answer for every reliable transport and for lossless runs)
     /// selects the legacy send-once path.
     fn retransmit_timeout(&self) -> Option<Ns> {
         None
+    }
+
+    /// Can this substrate still observe `node`'s NIC on the fabric?
+    /// Liveness input to the retransmission budget: a timeout against an
+    /// observably *live* peer indicates clock skew between requester and
+    /// responder (e.g. a spinning consumer advancing its virtual clock
+    /// only ~600 ns per probe while the requester's backed-off deadlines
+    /// recede), not a lost peer, and therefore must not consume the
+    /// give-up budget. The default — in-memory and reliable transports,
+    /// which expose no liveness signal and never retransmit — reports
+    /// `true`.
+    fn peer_alive(&self, _node: usize) -> bool {
+        true
     }
 
     /// Shutdown linger on lossy transports: the barrier manager cannot

@@ -20,7 +20,7 @@ use tm_sim::Ns;
 
 use super::{Tmk, TmkEvent};
 use crate::protocol::{Request, Response};
-use crate::substrate::{Chan, IncomingMsg, Substrate};
+use crate::substrate::{Chan, IncomingMsg, Substrate, WaitOutcome};
 use crate::wire::{pool, WireWriter};
 
 /// One issued-but-uncollected rpc: the pending-response slot
@@ -47,6 +47,12 @@ pub(super) struct OutstandingRpc {
     /// bounded wait covers both cases.
     deadline: Ns,
     attempts: u32,
+    /// Retransmissions fired while the peer was *not* observably alive on
+    /// the fabric. Only these count against the give-up budget: a timeout
+    /// against a live peer is clock skew (a spinning consumer advances
+    /// its virtual clock only ~600 ns per probe while our backed-off
+    /// deadlines recede), not evidence of loss.
+    silent: u32,
     response: Option<Response>,
 }
 
@@ -375,6 +381,7 @@ impl<S: Substrate> Tmk<S> {
             rto,
             deadline,
             attempts: 0,
+            silent: 0,
             response: None,
         });
         let depth = self.outstanding.len() as u32;
@@ -415,6 +422,56 @@ impl<S: Substrate> Tmk<S> {
             } else {
                 let msg = self.sub.next_incoming();
                 self.absorb(msg);
+            }
+        }
+    }
+
+    /// [`Self::rpc_collect`] for the exit fan: block until the response
+    /// for `rid` is in *or* `peer` has deregistered its NIC, whichever
+    /// the substrate observes first. `None` means the peer is gone — it
+    /// can only have exited after applying our release, so the pending
+    /// rpc is moot and its slot is cancelled (retransmission timers must
+    /// not keep firing into a dead node and burning the give-up budget).
+    /// Reliable transports never lose the response and collect normally.
+    pub(super) fn rpc_collect_or_peer_done(&mut self, rid: u32, peer: usize) -> Option<Response> {
+        if self.sub.retransmit_timeout().is_none() {
+            return Some(self.rpc_collect(rid));
+        }
+        debug_assert!(
+            self.outstanding.iter().any(|o| o.rid == rid),
+            "node {}: collect of unissued rid {rid}",
+            self.me
+        );
+        loop {
+            if let Some(resp) = self.take_collected(rid) {
+                return Some(resp);
+            }
+            self.drain_serve_queue();
+            if let Some(resp) = self.take_collected(rid) {
+                return Some(resp);
+            }
+            self.clock().borrow_mut().begin_wait();
+            let deadline = self
+                .nearest_deadline()
+                .expect("collecting with no unanswered rid");
+            match self.sub.next_incoming_until_watching(deadline, &[peer]) {
+                WaitOutcome::Msg(msg) => self.absorb(msg),
+                WaitOutcome::Deadline => self.retransmit_due(),
+                WaitOutcome::PeersDone => {
+                    self.cancel_rpc(rid);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Drop `rid`'s pending slot without a response (the peer exited;
+    /// the rpc is moot), recycling the retained retransmission frame.
+    pub(super) fn cancel_rpc(&mut self, rid: u32) {
+        if let Some(i) = self.outstanding.iter().position(|o| o.rid == rid) {
+            let slot = self.outstanding.swap_remove(i);
+            if !slot.frame.is_empty() {
+                pool::give(slot.frame);
             }
         }
     }
@@ -569,8 +626,25 @@ impl<S: Substrate> Tmk<S> {
         self.retransmit_where(|o| o.to == to);
     }
 
+    /// Fire one retransmission for every unanswered slot matching `pred`.
+    ///
+    /// The give-up budget is clamped to observable peer progress: an
+    /// expired timer only counts against `rto_retries` when the peer is
+    /// *not* alive on the fabric. Against a live peer the timeout is
+    /// requester/responder clock skew, not loss — a spinning consumer
+    /// advances its virtual clock only ~600 ns per probe, so the
+    /// requester's exponentially backed-off deadlines recede faster than
+    /// the peer's clock and a naive budget exhausts against a healthy
+    /// node. For the same reason the exponential backoff is capped at
+    /// `rto0 << rto_retries`: unbounded doubling would let a single
+    /// skew-induced timeout push the next deadline past the end of the
+    /// run.
     fn retransmit_where(&mut self, pred: impl Fn(&OutstandingRpc) -> bool) {
         let cap = self.sub.params().udp.rto_retries;
+        let rto_ceiling = self
+            .sub
+            .retransmit_timeout()
+            .map(|rto0| rto0 * (1u64 << cap.min(20)));
         for i in 0..self.outstanding.len() {
             if self.outstanding[i].response.is_some() || !pred(&self.outstanding[i]) {
                 continue;
@@ -578,11 +652,16 @@ impl<S: Substrate> Tmk<S> {
             let (rid, to) = (self.outstanding[i].rid, self.outstanding[i].to);
             self.outstanding[i].attempts += 1;
             let attempt = self.outstanding[i].attempts;
-            assert!(
-                attempt <= cap,
-                "node {}: rid {rid} to {to}: gave up after {cap} retransmissions",
-                self.me
-            );
+            if !self.sub.peer_alive(to) {
+                self.outstanding[i].silent += 1;
+                let silent = self.outstanding[i].silent;
+                assert!(
+                    silent <= cap,
+                    "node {}: rid {rid} to {to}: gave up after {cap} silent retransmissions \
+                     ({attempt} total)",
+                    self.me
+                );
+            }
             self.clock().borrow_mut().stats.retransmits += 1;
             self.emit(TmkEvent::RetransmitFired { rid, attempt });
             let frame = std::mem::take(&mut self.outstanding[i].frame);
@@ -591,6 +670,9 @@ impl<S: Substrate> Tmk<S> {
             let slot = &mut self.outstanding[i];
             slot.frame = frame;
             slot.rto = slot.rto * 2;
+            if let Some(ceiling) = rto_ceiling {
+                slot.rto = slot.rto.min(ceiling);
+            }
             slot.deadline = now + slot.rto;
         }
     }

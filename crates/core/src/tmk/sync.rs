@@ -669,13 +669,15 @@ impl<S: Substrate> Tmk<S> {
     ) {
         let tree = self.tree_radix().is_some();
         let offloaded = matches!(self.cfg.barrier_algo, super::BarrierAlgo::NicTree { .. });
-        if matches!(self.cfg.lock_path, super::LockPath::Overlapped) && id != u32::MAX && !offloaded
-        {
+        if matches!(self.cfg.lock_path, super::LockPath::Overlapped) && !offloaded {
             // Overlapped write-notice distribution: every consumer's
             // release goes out as an issued request; acks collect out of
-            // order. The exit barrier stays serial (a consumer may tear
-            // down its NIC before a retransmitted notice reaches it), as
-            // does the NIC-offloaded fan (its cost model is the point).
+            // order. The exit fan rides the same path: each ack collect
+            // watches its consumer's NIC, so a retransmission timer armed
+            // against a consumer that applied the release and tore down
+            // cancels instead of firing into the dead node. Only the
+            // NIC-offloaded fan stays serial (its cost model is the
+            // point).
             return self.fan_release_overlapped(id, tree, clients, merged);
         }
         let mut fanned = 0u16;
@@ -725,6 +727,13 @@ impl<S: Substrate> Tmk<S> {
     /// the notices gain per-rid retransmission — on lossy wires a dropped
     /// release is re-driven by *our* timer instead of waiting out the
     /// consumer's arrival retransmission.
+    ///
+    /// Ack collection watches each consumer's NIC: on the exit fan a
+    /// consumer applies the release, passes the barrier and may tear down
+    /// before its ack (or our retransmitted notice) survives the wire. A
+    /// departed consumer *proves* the release was applied — it can only
+    /// have exited past the barrier — so the pending ack rpc is cancelled
+    /// instead of retransmitted into the dead node.
     fn fan_release_overlapped(
         &mut self,
         id: u32,
@@ -732,7 +741,7 @@ impl<S: Substrate> Tmk<S> {
         clients: Vec<Option<(u32, VectorClock, VectorClock)>>,
         merged: &VectorClock,
     ) {
-        let mut acks: Vec<u32> = Vec::new();
+        let mut acks: Vec<(usize, u32)> = Vec::new();
         for (node, slot) in clients.into_iter().enumerate() {
             let Some((rid, floor, _)) = slot else { continue };
             let records = self.log.newer_than(&floor);
@@ -746,15 +755,17 @@ impl<S: Substrate> Tmk<S> {
                     records,
                 },
             );
-            acks.push(nrid);
+            acks.push((node, nrid));
         }
         let fanned = acks.len() as u16;
-        for nrid in acks {
-            match self.rpc_collect(nrid) {
-                Response::NoticeAck { barrier } => {
+        for (node, nrid) in acks {
+            match self.rpc_collect_or_peer_done(nrid, node) {
+                Some(Response::NoticeAck { barrier }) => {
                     assert_eq!(barrier, id, "ack for barrier {barrier}, expected {id}")
                 }
-                other => panic!("expected NoticeAck, got {other:?}"),
+                // Consumer already deregistered: release applied, ack moot.
+                None => {}
+                Some(other) => panic!("expected NoticeAck, got {other:?}"),
             }
         }
         if tree && fanned > 0 {

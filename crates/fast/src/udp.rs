@@ -9,10 +9,10 @@
 use std::sync::Arc;
 
 use tm_sim::{AsyncScheme, Ns, SharedClock, SimParams};
-use tm_udp::UdpStack;
+use tm_udp::{RecvOutcome, UdpStack};
 use tmk::framing::{self, FragHeader, Reassembler};
 use tmk::wire::pool;
-use tmk::{Chan, IncomingMsg, ShutdownPoll, Substrate};
+use tmk::{Chan, IncomingMsg, ShutdownPoll, Substrate, WaitOutcome};
 
 /// Socket number for asynchronous requests (SIGIO).
 pub const REQ_SOCK: u16 = 1;
@@ -293,6 +293,25 @@ impl Substrate for UdpSubstrate {
         }
     }
 
+    fn next_incoming_until_watching(&mut self, deadline: Ns, watch: &[usize]) -> WaitOutcome {
+        loop {
+            match self.udp.recv_any_timeout_watching(
+                &[REQ_SOCK, REP_SOCK],
+                watch,
+                deadline,
+                HANG_GUARD,
+            ) {
+                RecvOutcome::Datagram((sock, d)) => {
+                    if let Some(msg) = self.handle(sock, d) {
+                        return WaitOutcome::Msg(msg);
+                    }
+                }
+                RecvOutcome::Timeout => return WaitOutcome::Deadline,
+                RecvOutcome::PeersDone => return WaitOutcome::PeersDone,
+            }
+        }
+    }
+
     fn retransmit_timeout(&self) -> Option<Ns> {
         let p = self.udp.params();
         let lossy = p.faults.lossy()
@@ -301,6 +320,10 @@ impl Substrate for UdpSubstrate {
             || p.faults.recvbuf_datagrams > 0
             || p.udp.drop_probability > 0.0;
         lossy.then(|| p.udp.rto)
+    }
+
+    fn peer_alive(&self, node: usize) -> bool {
+        self.udp.peers_alive_in(&[node])
     }
 
     fn shutdown_poll(&mut self) -> ShutdownPoll {

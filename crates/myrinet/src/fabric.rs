@@ -13,6 +13,17 @@ use crate::packet::{NodeId, RawPacket, FRAME_OVERHEAD};
 /// One node's full-duplex link state: the virtual time at which each
 /// direction is next free. Updated with CAS loops so concurrent node
 /// threads serialize their occupancy correctly.
+///
+/// Writer disciplines, audited for the lockstep scheduler's concurrent
+/// per-receiver grants: `tx_free` is only ever advanced by the owning
+/// node's own thread (a node has at most one transmit in flight), so it
+/// is effectively single-writer in *both* regimes. `rx_free` has many
+/// potential writers; under free-run they arbitrate by wall-clock CAS
+/// order, while under lockstep the per-receiver token makes the current
+/// grant holder the unique writer, and same-link grants are issued in
+/// virtual-key order — concurrent reservations on *distinct* rx links
+/// touch disjoint atomics and cannot perturb each other's occupancy
+/// sequence.
 struct LinkState {
     tx_free: AtomicU64,
     rx_free: AtomicU64,
@@ -37,8 +48,9 @@ pub struct Fabric {
     extra_hops: u32,
     /// The conservative lockstep scheduler, present iff the cluster runs
     /// under [`SchedMode::Lockstep`]. Every transmit then goes through a
-    /// two-phase request/grant keyed on virtual injection time, and the
-    /// link-reservation CAS loops below run uncontended.
+    /// two-phase request/grant keyed on virtual injection time; each rx
+    /// link's reservation CAS runs uncontended under its per-receiver
+    /// token (see [`LinkState`]).
     sched: Option<Arc<LockstepSched>>,
     /// Sends that found the destination's inbox already closed: the
     /// receiver dropped its NIC while the packet was in flight. Always
@@ -78,7 +90,7 @@ impl Fabric {
         let extra_hops = 2 * (levels - 1);
         let alive = (0..n).map(|_| AtomicBool::new(true)).collect();
         let sched = (params.sched == SchedMode::Lockstep)
-            .then(|| Arc::new(LockstepSched::new(n)));
+            .then(|| Arc::new(LockstepSched::new_with_tokens(n, params.tokens)));
         let fabric = Arc::new(Fabric {
             params,
             links,
@@ -264,13 +276,21 @@ impl Fabric {
             self.push(src, dst, src_port, dst_port, payload, arrival, directed, lost);
             return arrival;
         }
-        // Two-phase request/grant: block until the scheduler grants this
-        // injection's (time, node, seq) key. While granted we hold the
-        // cluster-wide reservation token, so the CAS loops in `reserve`
-        // are uncontended and link occupancy is assigned in virtual-key
-        // order — the free-running path's wall-clock arbitration is gone.
+        // Two-phase request/grant: announce the destination and block
+        // until the scheduler grants this injection's (time, node, seq)
+        // key. While granted we hold `dst`'s rx-link reservation token.
+        // Grants to *distinct* receivers may run this section
+        // concurrently (per-receiver tokens), which stays deterministic
+        // because every atomic below is still single-writer at any
+        // instant: `links[src].tx_free` is only ever CASed by this
+        // node's own thread (one transmit per node at a time), and
+        // `links[dst].rx_free` only by the unique holder of `dst`'s
+        // token — same-receiver grants are serialized in virtual-key
+        // order, so each rx link's occupancy sequence is the one the
+        // fully serial schedule produces and the free-running path's
+        // wall-clock arbitration is gone.
         if let Some(sched) = &self.sched {
-            sched.request_transmit(src, inject_time, floor_after);
+            sched.request_transmit(src, dst, inject_time, floor_after);
         }
         // Occupy our tx link.
         let tx_start = Self::reserve(&self.links[src].tx_free, inject_time, wire);
@@ -283,8 +303,8 @@ impl Fabric {
         let delivered =
             self.push(src, dst, src_port, dst_port, payload, arrival, directed, lost);
         if let Some(sched) = &self.sched {
-            // Release the token; credit the delivery (waking `dst` if
-            // parked) only if the packet actually landed.
+            // Release `dst`'s rx-link token; credit the delivery (waking
+            // `dst` if parked) only if the packet actually landed.
             sched.finish_transmit(src, if delivered { dst } else { src }, arrival);
         }
         arrival

@@ -13,6 +13,19 @@ use crate::packet::{NodeId, RawPacket};
 /// Ports below this value belong to GM; at or above, to the sockets layer.
 pub const SOCKET_PORT_BASE: u16 = 1024;
 
+/// Outcome of a combined deadline + done-watch receive
+/// ([`NicHandle::recv_any_deadline_done_watch`]).
+#[derive(Debug)]
+pub enum DeadlineWatchRecv {
+    /// A packet arrived (at or before the deadline, or handed over by
+    /// the final drain after the watched peers departed).
+    Pkt(RawPacket),
+    /// The deadline became the cluster's next event.
+    Timeout,
+    /// Every watched peer deregistered its NIC, and no packet remained.
+    PeersDone,
+}
+
 /// A node's handle on its NIC. Owned by the node thread.
 ///
 /// Incoming packets land on one channel; the handle demultiplexes them into
@@ -381,6 +394,69 @@ impl NicHandle {
                     };
                 }
                 WakeReason::Timeout => unreachable!("no deadline on a done-watch park"),
+            }
+        }
+    }
+
+    /// Combined deadline + done-watch receive (lockstep only): block for
+    /// a packet on `ports` until virtual time `deadline` becomes the
+    /// cluster's next event *or* every node in `watch` deregisters its
+    /// NIC — whichever the scheduler orders first. This is the exit
+    /// fan's wait: the deadline keeps a lost notice's retransmission
+    /// timer live while the watched consumer can still be reached, and
+    /// the done-watch cancels that timer deterministically the moment
+    /// the consumer is gone, so a retransmission never fires into a dead
+    /// node. On `PeersDone` a final drain hands over any packet the
+    /// departing peers' last transmits delivered (their grants are
+    /// ordered before their drops).
+    pub fn recv_any_deadline_done_watch(
+        &mut self,
+        ports: &[u16],
+        watch: &[NodeId],
+        deadline: Ns,
+        floor: Ns,
+    ) -> DeadlineWatchRecv {
+        let sched = self
+            .fabric
+            .sched()
+            .cloned()
+            .expect("recv_any_deadline_done_watch requires SchedMode::Lockstep");
+        loop {
+            let sig = sched.delivery_count(self.node);
+            self.drain();
+            if let Some(i) = self.best_queued_idx(Some(ports)) {
+                let q = &mut self.queues[i].1;
+                if q.front().expect("non-empty").arrival <= deadline {
+                    return DeadlineWatchRecv::Pkt(q.pop_front().expect("non-empty"));
+                }
+                // The next event for this node is already past the
+                // deadline: the timeout fires first, deterministically.
+                return DeadlineWatchRecv::Timeout;
+            }
+            match sched.park_deadline_done_watch(self.node, watch, sig, deadline, floor) {
+                WakeReason::Delivered => continue,
+                WakeReason::PeersDone => {
+                    self.drain();
+                    return match self.best_queued_idx(Some(ports)) {
+                        // A packet the peer's final grant delivered wins
+                        // over the cancellation, whatever its arrival —
+                        // matching `recv_any_done_watch`'s last drain.
+                        Some(i) => DeadlineWatchRecv::Pkt(
+                            self.queues[i].1.pop_front().expect("non-empty"),
+                        ),
+                        None => DeadlineWatchRecv::PeersDone,
+                    };
+                }
+                WakeReason::Timeout => {
+                    self.drain();
+                    if let Some(i) = self.best_queued_idx(Some(ports)) {
+                        let q = &mut self.queues[i].1;
+                        if q.front().expect("non-empty").arrival <= deadline {
+                            return DeadlineWatchRecv::Pkt(q.pop_front().expect("non-empty"));
+                        }
+                    }
+                    return DeadlineWatchRecv::Timeout;
+                }
             }
         }
     }

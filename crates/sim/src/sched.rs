@@ -17,7 +17,9 @@
 //! **event** with a totally ordered key `(virtual time, node id, seq)`.
 //! Link reservations are split into a two-phase *request/grant*: a node
 //! asking to transmit parks in [`LockstepSched::request_transmit`] until
-//! the scheduler grants its key, and grants are issued in key order.
+//! the scheduler grants its key; a transmit announces its destination at
+//! phase one, and grants to *distinct* rx links may be issued
+//! concurrently (see [`TokenMode`]).
 //!
 //! The safety rule is the conservative horizon. Each node carries a
 //! **floor**: a lower bound on the key of any event it could still
@@ -25,24 +27,47 @@
 //! start) plus a per-substrate **lookahead** — the minimum modeled cost
 //! between resuming execution and the next packet reaching the wire (GM:
 //! NIC DMA-descriptor setup plus the `gm_send` host overhead; UDP: the
-//! syscall + protocol-stack floor; both: the NIC tx engine). The pending
-//! event with the smallest key is dispatched only when every node that is
-//! still *running* (not parked, not pending, not finished) has a floor
-//! strictly above that key — i.e. no straggler can still create an
-//! earlier event. Ties never happen: keys are unique by `(node, seq)`.
+//! syscall + protocol-stack floor; both: the NIC tx engine). A pending
+//! event is dispatched only when every node that is still *running* (not
+//! parked, not pending, not finished) has a floor strictly above its key
+//! — i.e. no straggler can still create an earlier event — plus the
+//! per-link and hazard rules below. Ties never happen: keys are unique by
+//! `(node, seq)`.
 //!
-//! Determinism argument, in one paragraph: a node's execution between
-//! scheduler interactions is a pure function of its inputs (per-node
-//! clocks are thread-local, RNG streams are seeded, and wall-clock reads
-//! are confined to the free-run path). Its inputs are exactly the
-//! sequence of packets delivered to it and deadline expiries — both of
-//! which are produced only by grants. Grants fire in an order fixed by
-//! the floors: any interleaving-dependent early grant is impossible
-//! because a running node that could still produce a smaller key holds a
-//! floor at or below that key, blocking the grant until the node commits
-//! (requests, parks or finishes). By induction over grants, the whole
-//! schedule — and therefore every virtual timestamp, counter and memory
-//! image — is a function of the program alone.
+//! # Per-receiver tokens
+//!
+//! The original scheduler held one cluster-wide reservation token: at
+//! most one transmit was inside the fabric between its grant and its
+//! `finish_transmit`. That serializes *all* transmits, even though two
+//! grants only truly conflict when they race for the same receiver's rx
+//! link. [`TokenMode::PerReceiver`] (the default) instead keeps one token
+//! per rx link and grants a transmit when:
+//!
+//! 1. **Horizon** — every running node's floor is strictly above the
+//!    transmit's inject time (unchanged).
+//! 2. **Per-link order** — its rx link's token is free (no in-flight
+//!    transmit to the same destination) and its key is the minimum among
+//!    pending transmits to that destination. Each inbox therefore
+//!    receives packets in global key order, exactly as under the single
+//!    token.
+//! 3. **Pairwise hazards** — for every earlier-keyed pending event and
+//!    every in-flight transmit, the *consequences* of either event (the
+//!    sender's post-transmit floor, and the wake of its — possibly
+//!    parked, floor-zero — receiver) must not be able to inject below the
+//!    other's key. Without this, a granted event's wake chain could
+//!    produce a smaller-keyed transmit onto a link whose order was
+//!    already committed.
+//!
+//! Reproducibility is preserved because each rx link's reservation
+//! sequence — and therefore each inbox's arrival sequence — is the same
+//! one the serial schedule produces: per-link tokens serialize same-link
+//! reservations in key order, tx links are only ever touched by their
+//! owner's thread, and the hazard rule guarantees no not-yet-visible
+//! event can undercut a committed grant on any link it could reach. A
+//! node's inputs (its inbox sequence and deadline expiries) are thus a
+//! pure function of the program, and by the same induction as before so
+//! is every virtual timestamp, counter and memory image — only the
+//! wall-clock overlap of disjoint-link grants changes.
 //!
 //! Blocking receives park through the scheduler too
 //! ([`LockstepSched::park`]): a parked node's next event is unknowable
@@ -51,6 +76,7 @@
 //! which case the deadline is an event like any other and the wall-clock
 //! hang guard of the free-running path is never consulted.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use crate::time::Ns;
@@ -85,6 +111,36 @@ impl SchedMode {
     }
 }
 
+/// Granularity of the lockstep scheduler's reservation tokens.
+///
+/// * `Single` — one cluster-wide token: at most one transmit is inside
+///   the fabric at a time. The original (PR 6) regime; kept as the
+///   baseline for equivalence tests and overhead measurements.
+/// * `PerReceiver` — one token per rx link: transmits to distinct
+///   receivers proceed concurrently, subject to the hazard rules in the
+///   module docs. Produces the byte-identical schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TokenMode {
+    /// One cluster-wide reservation token (fully serial grants).
+    Single,
+    /// One reservation token per receiver link (concurrent disjoint grants).
+    #[default]
+    PerReceiver,
+}
+
+impl TokenMode {
+    /// Parse from an environment-style string: `single` selects
+    /// [`TokenMode::Single`]; `per-receiver`, `per_receiver` or the
+    /// empty string select [`TokenMode::PerReceiver`].
+    pub fn parse(s: &str) -> Option<TokenMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "single" => Some(TokenMode::Single),
+            "" | "per-receiver" | "per_receiver" | "perreceiver" => Some(TokenMode::PerReceiver),
+            _ => None,
+        }
+    }
+}
+
 /// Why a parked node was released.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WakeReason {
@@ -94,8 +150,9 @@ pub enum WakeReason {
     /// The park's virtual deadline became the cluster's next event.
     Timeout,
     /// Every node in the park's done-watch set has deregistered its NIC
-    /// ([`LockstepSched::mark_done`]); only
-    /// [`LockstepSched::park_done_watch`] reports this.
+    /// ([`LockstepSched::mark_done`]); reported by
+    /// [`LockstepSched::park_done_watch`] and
+    /// [`LockstepSched::park_deadline_done_watch`].
     PeersDone,
 }
 
@@ -114,11 +171,12 @@ enum St {
     /// virtual time of any event this node can still produce.
     Running { floor: Ns },
     /// Blocked in `request_transmit`, waiting for its key to be granted.
-    Pending { key: Key, floor_after: Ns },
+    /// `dst` is the announced receiver — the rx link the grant reserves.
+    Pending { key: Key, floor_after: Ns, dst: usize },
     /// Blocked in `park`: waiting for a delivery, and — if `deadline` is
-    /// set — for at most that much virtual time. `watch` (set only by
-    /// `park_done_watch`) additionally releases the park once every
-    /// listed node is `Done` — NIC deregistration as a scheduler event.
+    /// set — for at most that much virtual time. `watch` additionally
+    /// releases the park once every listed node is `Done` — NIC
+    /// deregistration as a scheduler event.
     Parked {
         deadline: Option<Key>,
         floor: Ns,
@@ -141,19 +199,31 @@ struct NodeSt {
     /// means a delivery raced the park and the node must re-drain instead
     /// of sleeping (the classic eventcount handshake).
     deliveries: u64,
-    /// Set by the dispatcher when this node's pending transmit is
-    /// granted or its park is released; consumed by the blocked thread.
-    release: Option<WakeReason>,
+}
+
+/// A granted transmit that has not yet called `finish_transmit`: it holds
+/// its destination's rx-link token. Its sender is `Running{floor_after}`
+/// (covered by the horizon rule); its receiver-side consequence — the
+/// wake of `dst` — is bounded by `dst`'s wake floor in the hazard rule.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    key: Key,
+    src: usize,
+    dst: usize,
 }
 
 struct State {
     nodes: Vec<NodeSt>,
-    /// The node holding the reservation token: between its transmit
-    /// grant and its `finish_transmit`. Link reservations are exclusive,
-    /// so at most one node is inside the fabric's reservation section at
-    /// a time; tracking *who* lets `mark_done` release a token held by a
-    /// node that unwinds mid-transmit.
-    token_owner: Option<usize>,
+    /// Transmits between grant and `finish_transmit`, one per held
+    /// rx-link token. Under [`TokenMode::Single`] at most one entry;
+    /// under [`TokenMode::PerReceiver`] at most one per distinct `dst`.
+    /// Tracking `src` lets `mark_done` release a token held by a node
+    /// that unwinds mid-transmit.
+    in_flight: Vec<InFlight>,
+    tokens: TokenMode,
+    /// High-water mark of `in_flight.len()` — the gauge tests use to
+    /// prove concurrent grants actually happened.
+    max_grants: usize,
 }
 
 /// The conservative lockstep scheduler for one cluster fabric. Shared
@@ -164,31 +234,155 @@ struct State {
 /// thread, and waking the whole cluster to have everyone re-check and
 /// re-sleep is a futex storm that dominates the scheduler's wall-clock
 /// overhead on poll-heavy workloads.
+///
+/// Release signals travel through `sigs`, one atomic per node, set
+/// (while the state lock is held) by whichever thread decides the
+/// release and consumed by the single blocked owner. Keeping the signal
+/// outside the mutex lets waiters *spin briefly before sleeping*
+/// (`await_signal`): the typical grant handoff — the
+/// dispatching thread marks a transmit granted, the granted thread
+/// resumes, reserves its links, and finishes — is far shorter than a
+/// futex round trip, and under [`TokenMode::Single`] that wake latency
+/// sits on the fully serialized critical path of *every* transmit in
+/// the cluster.
 pub struct LockstepSched {
     state: Mutex<State>,
-    cvs: Vec<Condvar>,
+    /// Per-node sleep slots, each with its own mutex: a waiter must never
+    /// sleep holding (or contending for) the state lock — with a hundred
+    /// parked nodes that one lock becomes the whole cluster's convoy.
+    waiters: Vec<WaitSlot>,
+    /// Per-node release signal: `SIG_NONE` or an encoded [`WakeReason`].
+    sigs: Vec<AtomicU8>,
+    /// Busy-wait iterations before yielding in [`LockstepSched::await_signal`].
+    /// Zero on a single-CPU host: spinning there steals the only core from
+    /// the thread that would post the signal.
+    spins: u32,
+    /// `yield_now` rounds before the condvar sleep. Sized to the cluster:
+    /// small clusters have short waits where a yield beats a futex round
+    /// trip; at 100+ threads every yield walks a long run queue, so
+    /// sleeping promptly is cheaper for everyone.
+    yields: u32,
+}
+
+/// One node's private sleep slot (see [`LockstepSched::await_signal`]).
+struct WaitSlot {
+    m: Mutex<()>,
+    cv: Condvar,
+}
+
+/// No release pending.
+const SIG_NONE: u8 = 0;
+
+fn sig_encode(r: WakeReason) -> u8 {
+    match r {
+        WakeReason::Delivered => 1,
+        WakeReason::Timeout => 2,
+        WakeReason::PeersDone => 3,
+    }
+}
+
+fn sig_decode(v: u8) -> Option<WakeReason> {
+    match v {
+        SIG_NONE => None,
+        1 => Some(WakeReason::Delivered),
+        2 => Some(WakeReason::Timeout),
+        3 => Some(WakeReason::PeersDone),
+        _ => unreachable!("corrupt release signal {v}"),
+    }
 }
 
 impl LockstepSched {
-    /// A scheduler for `n` nodes, all initially running with floor 0 (no
-    /// event can be granted until every node has committed to its first
-    /// fabric action — the conservative cold start).
+    /// A scheduler for `n` nodes with the default per-receiver tokens,
+    /// all initially running with floor 0 (no event can be granted until
+    /// every node has committed to its first fabric action — the
+    /// conservative cold start).
     pub fn new(n: usize) -> LockstepSched {
+        LockstepSched::new_with_tokens(n, TokenMode::default())
+    }
+
+    /// A scheduler for `n` nodes with an explicit [`TokenMode`].
+    pub fn new_with_tokens(n: usize, tokens: TokenMode) -> LockstepSched {
         let nodes = (0..n)
             .map(|_| NodeSt {
                 st: St::Running { floor: Ns::ZERO },
                 seq: 0,
                 lookahead: Ns::ZERO,
                 deliveries: 0,
-                release: None,
             })
             .collect();
         LockstepSched {
             state: Mutex::new(State {
                 nodes,
-                token_owner: None,
+                in_flight: Vec::new(),
+                tokens,
+                max_grants: 0,
             }),
-            cvs: (0..n).map(|_| Condvar::new()).collect(),
+            waiters: (0..n)
+                .map(|_| WaitSlot {
+                    m: Mutex::new(()),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            sigs: (0..n).map(|_| AtomicU8::new(SIG_NONE)).collect(),
+            spins: match std::thread::available_parallelism() {
+                Ok(p) if p.get() > 1 => 200,
+                _ => 0,
+            },
+            yields: if n <= 32 { 8 } else { 2 },
+        }
+    }
+
+    /// Post `node`'s release signal. Must be called with the state lock
+    /// held: the lock serializes signal production with the node's state
+    /// transition, and a node has at most one release per blocked episode
+    /// (its state leaves `Pending`/`Parked` in the same critical section
+    /// that posts the signal, so no second producer can fire). Taking the
+    /// slot mutex around the notify closes the lost-wakeup window against
+    /// a waiter that checked `sigs` just before the store and is about to
+    /// sleep (lock order is always state -> slot, never the reverse).
+    fn signal(&self, node: usize, reason: WakeReason) {
+        self.sigs[node].store(sig_encode(reason), Ordering::Release);
+        let slot = &self.waiters[node];
+        drop(slot.m.lock().unwrap());
+        slot.cv.notify_one();
+    }
+
+    /// Consume `node`'s release signal, if posted. Only ever called by
+    /// the node's own (single) blocked thread.
+    fn take_sig(&self, node: usize) -> Option<WakeReason> {
+        sig_decode(self.sigs[node].swap(SIG_NONE, Ordering::Acquire))
+    }
+
+    /// Block `node`'s thread until its release signal is posted:
+    /// spin briefly when a second CPU could be posting it concurrently
+    /// (the grant handoff is usually much shorter than a futex round
+    /// trip), politely yield a few times (on a single CPU this hands the
+    /// core straight to the would-be signaler), then sleep on the node's
+    /// *private* condvar — never on the state lock, which the signaler
+    /// and every other node need. The wait mechanics are invisible to
+    /// the virtual schedule — release decisions are made entirely from
+    /// virtual state under the state lock — so this is pure wall-clock
+    /// tuning.
+    fn await_signal(&self, node: usize) -> WakeReason {
+        for _ in 0..self.spins {
+            if let Some(r) = self.take_sig(node) {
+                return r;
+            }
+            std::hint::spin_loop();
+        }
+        for _ in 0..self.yields {
+            if let Some(r) = self.take_sig(node) {
+                return r;
+            }
+            std::thread::yield_now();
+        }
+        let slot = &self.waiters[node];
+        let mut g = slot.m.lock().unwrap();
+        loop {
+            if let Some(r) = self.take_sig(node) {
+                return r;
+            }
+            g = slot.cv.wait(g).unwrap();
         }
     }
 
@@ -207,16 +401,26 @@ impl LockstepSched {
         self.state.lock().unwrap().nodes[node].lookahead
     }
 
+    /// The highest number of simultaneously in-flight (granted but not
+    /// finished) transmits observed so far. Always ≤ 1 under
+    /// [`TokenMode::Single`]; ≥ 2 proves per-receiver grants overlapped.
+    pub fn max_concurrent_grants(&self) -> usize {
+        self.state.lock().unwrap().max_grants
+    }
+
     /// Phase one of the two-phase link reservation: announce a transmit
-    /// whose NIC injection happens at virtual time `inject`, and block
-    /// until the scheduler grants it. `floor_after` is the node's floor
-    /// once this transmit is done (its preemptible-window start plus its
-    /// lookahead); the caller computes it from its clock.
+    /// to `dst` whose NIC injection happens at virtual time `inject`,
+    /// and block until the scheduler grants it. `floor_after` is the
+    /// node's floor once this transmit is done (its preemptible-window
+    /// start plus its lookahead); the caller computes it from its clock.
     ///
-    /// On return the caller holds the cluster-wide reservation token: it
+    /// On return the caller holds `dst`'s rx-link reservation token: it
     /// must perform its link reservations and inbox delivery, then call
-    /// [`LockstepSched::finish_transmit`].
-    pub fn request_transmit(&self, node: usize, inject: Ns, floor_after: Ns) {
+    /// [`LockstepSched::finish_transmit`]. Grants to distinct receivers
+    /// may overlap (see [`TokenMode`]); grants to the same receiver are
+    /// serialized in key order, so the CAS loops in the fabric's reserve
+    /// path stay uncontended per link.
+    pub fn request_transmit(&self, node: usize, dst: usize, inject: Ns, floor_after: Ns) {
         let mut s = self.state.lock().unwrap();
         let seq = s.nodes[node].next_seq();
         let key = Key {
@@ -224,24 +428,24 @@ impl LockstepSched {
             node,
             seq,
         };
-        s.nodes[node].st = St::Pending { key, floor_after };
+        s.nodes[node].st = St::Pending {
+            key,
+            floor_after,
+            dst,
+        };
         self.dispatch(&mut s);
-        loop {
-            if s.nodes[node].release.take().is_some() {
-                return;
-            }
-            s = self.cvs[node].wait(s).unwrap();
-        }
+        drop(s);
+        self.await_signal(node);
     }
 
     /// Phase two: the granted transmit has reserved its links and pushed
     /// the packet (arriving at `arrival`) into `dst`'s inbox. Releases
-    /// the reservation token and wakes `dst` if it is parked. For a
+    /// the sender's rx-link token and wakes `dst` if it is parked. For a
     /// loopback or a delivery to a finished node pass `dst == node` /
     /// the dead node; both degenerate gracefully.
     pub fn finish_transmit(&self, node: usize, dst: usize, arrival: Ns) {
         let mut s = self.state.lock().unwrap();
-        s.token_owner = None;
+        s.in_flight.retain(|f| f.src != node);
         if dst != node {
             self.deliver_locked(&mut s, dst, arrival);
         }
@@ -270,27 +474,7 @@ impl LockstepSched {
         deadline: Option<Ns>,
         floor: Ns,
     ) -> WakeReason {
-        let mut s = self.state.lock().unwrap();
-        if s.nodes[node].deliveries != seen_deliveries {
-            // A delivery raced our drain; don't sleep on a stale view.
-            return WakeReason::Delivered;
-        }
-        let deadline = deadline.map(|t| {
-            let seq = s.nodes[node].next_seq();
-            Key { t, node, seq }
-        });
-        s.nodes[node].st = St::Parked {
-            deadline,
-            floor,
-            watch: None,
-        };
-        self.dispatch(&mut s);
-        loop {
-            if let Some(reason) = s.nodes[node].release.take() {
-                return reason;
-            }
-            s = self.cvs[node].wait(s).unwrap();
-        }
+        self.park_inner(node, seen_deliveries, deadline, floor, None)
     }
 
     /// Park `node` until a packet is delivered to it or every node in
@@ -311,25 +495,57 @@ impl LockstepSched {
         seen_deliveries: u64,
         floor: Ns,
     ) -> WakeReason {
+        self.park_inner(node, seen_deliveries, None, floor, Some(watch))
+    }
+
+    /// Park `node` until a packet is delivered, virtual time `deadline`
+    /// becomes the cluster's next event, *or* every node in `watch` has
+    /// deregistered its NIC — whichever comes first. This is the exit
+    /// fan's wait: the deadline keeps a lost notice's retransmission
+    /// timer live while the consumer can still be reached, and the
+    /// done-watch cancels that timer the moment the consumer is gone, so
+    /// a retransmission never fires into a dead node.
+    pub fn park_deadline_done_watch(
+        &self,
+        node: usize,
+        watch: &[usize],
+        seen_deliveries: u64,
+        deadline: Ns,
+        floor: Ns,
+    ) -> WakeReason {
+        self.park_inner(node, seen_deliveries, Some(deadline), floor, Some(watch))
+    }
+
+    fn park_inner(
+        &self,
+        node: usize,
+        seen_deliveries: u64,
+        deadline: Option<Ns>,
+        floor: Ns,
+        watch: Option<&[usize]>,
+    ) -> WakeReason {
         let mut s = self.state.lock().unwrap();
         if s.nodes[node].deliveries != seen_deliveries {
+            // A delivery raced our drain; don't sleep on a stale view.
             return WakeReason::Delivered;
         }
-        if watch.iter().all(|&w| matches!(s.nodes[w].st, St::Done)) {
-            return WakeReason::PeersDone;
+        if let Some(w) = watch {
+            if w.iter().all(|&x| matches!(s.nodes[x].st, St::Done)) {
+                return WakeReason::PeersDone;
+            }
         }
+        let deadline = deadline.map(|t| {
+            let seq = s.nodes[node].next_seq();
+            Key { t, node, seq }
+        });
         s.nodes[node].st = St::Parked {
-            deadline: None,
+            deadline,
             floor,
-            watch: Some(watch.to_vec()),
+            watch: watch.map(|w| w.to_vec()),
         };
         self.dispatch(&mut s);
-        loop {
-            if let Some(reason) = s.nodes[node].release.take() {
-                return reason;
-            }
-            s = self.cvs[node].wait(s).unwrap();
-        }
+        drop(s);
+        self.await_signal(node)
     }
 
     /// Settle a *non-blocking poll*: may the node conclude that nothing
@@ -360,28 +576,42 @@ impl LockstepSched {
                 return false;
             }
             // Fast path: the poll's deadline event would be granted the
-            // moment it was created — no reservation token in flight, no
-            // candidate event with a smaller key, every running floor
-            // above `t`. Settling inline is then schedule-equivalent to
-            // the park below (the dispatcher would release this deadline
-            // before anything else), minus the sleep/wake round trip that
-            // a poll-heavy engine pays on every miss. The seq that the
-            // park would have consumed is skipped, which is harmless: a
-            // node has at most one live candidate at a time, so seq never
-            // arbitrates between coexisting events.
+            // moment it was created — no candidate event with a smaller
+            // key, every running floor above `t`, and the in-flight rules
+            // of the poller's token mode hold. Settling inline is then
+            // schedule-equivalent to the park below (the dispatcher would
+            // release this deadline before anything else), minus the
+            // sleep/wake round trip that a poll-heavy engine pays on
+            // every miss. The seq that the park would have consumed is
+            // skipped, which is harmless: a node has at most one live
+            // candidate at a time, so seq never arbitrates between
+            // coexisting events. Under per-receiver tokens the fabric is
+            // legitimately busy most of the time — that is the point of
+            // the mode — so the fast path must tolerate in-flight
+            // transmits; `grantable_concurrently` (with no earlier
+            // candidate, which the horizon scan just established) is
+            // exactly the dispatcher's own admission test.
             let me = Key { t, node, seq: 0 };
-            let settled_now = s.token_owner.is_none()
-                && s.nodes.iter().enumerate().all(|(i, n)| {
-                    i == node
-                        || match &n.st {
-                            St::Running { floor } => t < *floor,
-                            St::Pending { key, .. } => *key > me,
-                            St::Parked {
-                                deadline: Some(d), ..
-                            } => *d > me,
-                            St::Parked { deadline: None, .. } | St::Done => true,
-                        }
-                });
+            let horizon_clear = s.nodes.iter().enumerate().all(|(i, n)| {
+                i == node
+                    || match &n.st {
+                        St::Running { floor } => t < *floor,
+                        St::Pending { key, .. } => *key > me,
+                        St::Parked {
+                            deadline: Some(d), ..
+                        } => *d > me,
+                        St::Parked { deadline: None, .. } | St::Done => true,
+                    }
+            });
+            let settled_now = horizon_clear
+                && (s.in_flight.is_empty()
+                    || (s.tokens == TokenMode::PerReceiver
+                        && self.grantable_concurrently(
+                            &s,
+                            me,
+                            &Cand::Deadline { owner: node },
+                            &[],
+                        )));
             if settled_now {
                 let la = s.nodes[node].lookahead;
                 if let St::Running { floor: f } = &mut s.nodes[node].st {
@@ -413,12 +643,10 @@ impl LockstepSched {
     pub fn mark_done(&self, node: usize) {
         let mut s = self.state.lock().unwrap();
         s.nodes[node].st = St::Done;
-        if s.token_owner == Some(node) {
-            // The node unwound between its grant and `finish_transmit`
-            // (a panic mid-reservation); free the token so the rest of
-            // the cluster can drain and surface the failure.
-            s.token_owner = None;
-        }
+        // If the node unwound between its grant and `finish_transmit`
+        // (a panic mid-reservation), free its rx-link token so the rest
+        // of the cluster can drain and surface the failure.
+        s.in_flight.retain(|f| f.src != node);
         // This deregistration may complete a done-watch: release every
         // parked watcher whose whole watch set is now `Done`. Ordering is
         // deterministic — the watcher only parked after draining its
@@ -442,8 +670,7 @@ impl LockstepSched {
                 _ => unreachable!(),
             };
             s.nodes[i].st = St::Running { floor };
-            s.nodes[i].release = Some(WakeReason::PeersDone);
-            self.cvs[i].notify_all();
+            self.signal(i, WakeReason::PeersDone);
         }
         self.dispatch(&mut s);
     }
@@ -461,89 +688,236 @@ impl LockstepSched {
             // is not a sound lower bound — the park floor still is (the
             // preemptible window only moves forward while blocked).
             n.st = St::Running { floor };
-            n.release = Some(WakeReason::Delivered);
-            self.cvs[dst].notify_all();
+            self.signal(dst, WakeReason::Delivered);
         }
         // Running / Pending / Done nodes will find the packet when they
         // next drain; their floors already bound any response to it.
     }
 
-    /// Grant every releasable event, in key order. Called with the state
-    /// lock held after every transition; followed by `notify_all` at the
-    /// call sites that can wake sleepers.
-    fn dispatch(&self, s: &mut State) {
-        loop {
-            // The smallest event key on offer: pending transmits and
-            // park deadlines.
-            let mut best: Option<(Key, usize, bool)> = None;
-            for (i, n) in s.nodes.iter().enumerate() {
-                let cand = match &n.st {
-                    St::Pending { key, .. } => Some((*key, i, true)),
-                    St::Parked {
-                        deadline: Some(d), ..
-                    } => Some((*d, i, false)),
-                    _ => None,
-                };
-                if let Some(c) = cand {
-                    if best.is_none_or(|b| c.0 < b.0) {
-                        best = Some(c);
-                    }
-                }
-            }
-            let Some((key, idx, is_transmit)) = best else {
-                self.check_deadlock(s);
-                return;
-            };
-            // Conservative horizon: no running node may still be able to
-            // produce an earlier (or equal) key.
-            let safe = s.nodes.iter().all(|n| match n.st {
-                St::Running { floor } => key.t < floor,
-                _ => true,
-            });
-            if !safe {
-                return;
-            }
-            if s.token_owner.is_some() {
-                // A granted transmit has not yet pushed its packet: its
-                // links are unreserved and its delivery invisible, so no
-                // event — not even a deadline expiry, which could
-                // otherwise conclude "nothing arrived" moments before the
-                // in-flight packet lands — may be released until
-                // `finish_transmit`. Re-dispatch happens there.
-                return;
-            }
-            if is_transmit {
-                s.token_owner = Some(idx);
-                let n = &mut s.nodes[idx];
-                let floor = match n.st {
-                    St::Pending { floor_after, .. } => floor_after,
-                    _ => unreachable!(),
-                };
-                n.st = St::Running { floor };
-                n.release = Some(WakeReason::Delivered);
-            } else {
-                let n = &mut s.nodes[idx];
-                let floor = match n.st {
-                    St::Parked { floor, .. } => floor,
-                    _ => unreachable!(),
-                };
-                n.st = St::Running { floor };
-                n.release = Some(WakeReason::Timeout);
-            }
-            self.cvs[idx].notify_all();
+    /// A lower bound on the key time of any *new* event `node` could
+    /// produce as a consequence of a future delivery (or of resuming at
+    /// all). `None` means the node is `Done` and produces nothing.
+    fn wake_floor(n: &NodeSt) -> Option<Ns> {
+        match &n.st {
+            St::Running { floor } => Some(*floor),
+            // A pending sender reacts to nothing until its own transmit
+            // completes; its post-transmit injections are bounded below
+            // by the floor it declared for that point.
+            St::Pending { floor_after, .. } => Some(*floor_after),
+            St::Parked { floor, .. } => Some(*floor),
+            St::Done => None,
         }
     }
 
+    /// A lower bound on the key time of anything that can *happen
+    /// because of* candidate event `(key, ev)` — the sender's
+    /// post-transmit floor and/or the wake of the node it touches.
+    fn hazard(s: &State, ev: &Cand) -> Option<Ns> {
+        match *ev {
+            Cand::Transmit {
+                dst, floor_after, ..
+            } => {
+                let wake = Self::wake_floor(&s.nodes[dst]);
+                Some(match wake {
+                    Some(w) => floor_after.min(w),
+                    None => floor_after,
+                })
+            }
+            Cand::Deadline { owner } => Self::wake_floor(&s.nodes[owner]),
+            Cand::Granted => unreachable!("tombstones are never candidates"),
+        }
+    }
+
+    /// Grant every releasable event. Called with the state lock held
+    /// after every transition; wakes each granted node's own condvar.
+    ///
+    /// Candidates are scanned in key order. Under [`TokenMode::Single`]
+    /// only the global minimum is ever considered and nothing is granted
+    /// while a transmit is in flight — the original serial regime. Under
+    /// [`TokenMode::PerReceiver`] a candidate is granted when it passes
+    /// the horizon rule, its rx-link token is free, and the pairwise
+    /// hazard rule holds against every earlier-keyed candidate and every
+    /// in-flight transmit (module docs, "Per-receiver tokens").
+    fn dispatch(&self, s: &mut State) {
+        // One allocation for the whole call: the candidate scratch list is
+        // rebuilt (but not reallocated) after every grant.
+        let mut cands: Vec<(Key, usize, Cand)> = Vec::with_capacity(s.nodes.len());
+        loop {
+            cands.clear();
+            // The conservative horizon collapses to one number: a key is
+            // safe iff it is below the minimum floor of every running
+            // node (in-flight senders are `Running{floor_after}` and are
+            // covered here too). Computing it once per rescan instead of
+            // scanning all nodes per candidate is what keeps dispatch
+            // affordable at 128 nodes.
+            let mut min_running = Ns(u64::MAX);
+            for (i, n) in s.nodes.iter().enumerate() {
+                match &n.st {
+                    St::Pending {
+                        key,
+                        floor_after,
+                        dst,
+                    } => cands.push((
+                        *key,
+                        i,
+                        Cand::Transmit {
+                            dst: *dst,
+                            floor_after: *floor_after,
+                        },
+                    )),
+                    St::Parked {
+                        deadline: Some(d), ..
+                    } => cands.push((*d, i, Cand::Deadline { owner: i })),
+                    St::Running { floor } => min_running = min_running.min(*floor),
+                    _ => {}
+                }
+            }
+            if cands.is_empty() {
+                self.check_deadlock(s);
+                return;
+            }
+            cands.sort_by_key(|c| c.0);
+            let serial = s.tokens == TokenMode::Single;
+            // One pass over the sorted candidates, granting as it goes.
+            // A grant mid-pass leaves its (now stale) entry in `cands`,
+            // which only *adds* same-link and hazard rejections for later
+            // candidates — every mid-pass grant is one the
+            // rebuild-after-every-grant schedule would also make, so the
+            // fixpoint reached by repeating full passes until one grants
+            // nothing is the same, at one sort per pass instead of one
+            // sort per grant (the difference between O(grants · C log C)
+            // and O(passes · C log C) — decisive at 128 nodes).
+            let mut granted_any = false;
+            for ci in 0..cands.len() {
+                let (key, idx, ev) = cands[ci];
+                if serial && (ci > 0 || !s.in_flight.is_empty()) {
+                    // Single token: only the global minimum, and only
+                    // with the fabric empty, may be granted.
+                    break;
+                }
+                if key.t >= min_running {
+                    continue;
+                }
+                if !serial && !self.grantable_concurrently(s, key, &ev, &cands[..ci]) {
+                    continue;
+                }
+                granted_any = true;
+                match ev {
+                    Cand::Transmit { dst, floor_after } => {
+                        s.in_flight.push(InFlight { key, src: idx, dst });
+                        s.max_grants = s.max_grants.max(s.in_flight.len());
+                        s.nodes[idx].st = St::Running { floor: floor_after };
+                        // The granted sender runs again below this floor's
+                        // horizon; later candidates must respect it.
+                        min_running = min_running.min(floor_after);
+                        self.signal(idx, WakeReason::Delivered);
+                    }
+                    Cand::Deadline { .. } => {
+                        let floor = match s.nodes[idx].st {
+                            St::Parked { floor, .. } => floor,
+                            _ => unreachable!(),
+                        };
+                        s.nodes[idx].st = St::Running { floor };
+                        min_running = min_running.min(floor);
+                        self.signal(idx, WakeReason::Timeout);
+                    }
+                    Cand::Granted => unreachable!("tombstones are never granted"),
+                }
+                cands[ci].2 = Cand::Granted;
+            }
+            if !granted_any {
+                return;
+            }
+        }
+    }
+
+    /// The per-link and pairwise-hazard half of the grant rule for
+    /// candidate `(key, ev)`. `earlier` holds every candidate with a
+    /// smaller key (the scan is in key order).
+    fn grantable_concurrently(
+        &self,
+        s: &State,
+        key: Key,
+        ev: &Cand,
+        earlier: &[(Key, usize, Cand)],
+    ) -> bool {
+        // The rx link this event touches: the receiver of a transmit, or
+        // the owner of a deadline (whose "nothing arrived by t" verdict a
+        // racing delivery would falsify).
+        let touches = match *ev {
+            Cand::Transmit { dst, .. } => dst,
+            Cand::Deadline { owner } => owner,
+            Cand::Granted => unreachable!("tombstones are never candidates"),
+        };
+        for f in &s.in_flight {
+            // Per-link token: an in-flight transmit owns its receiver's
+            // rx link, and its landing must not race a deadline verdict
+            // on that same receiver.
+            if f.dst == touches {
+                return false;
+            }
+            // The in-flight transmit's landing will wake `f.dst`, whose
+            // subsequent injections are only bounded by its wake floor;
+            // they must not be able to undercut this grant on any link.
+            match Self::wake_floor(&s.nodes[f.dst]) {
+                Some(w) if w <= key.t => return false,
+                _ => {}
+            }
+            // Symmetric direction, for the rare in-flight transmit with a
+            // *larger* key (granted before this candidate appeared): our
+            // consequences must not undercut its committed reservation.
+            if key < f.key {
+                match Self::hazard(s, ev) {
+                    Some(h) if h <= f.key.t => return false,
+                    None => {}
+                    _ => {}
+                }
+            }
+        }
+        for (ekey, _eidx, eev) in earlier {
+            let etouches = match *eev {
+                Cand::Transmit { dst, .. } => dst,
+                Cand::Deadline { owner } => owner,
+                // Granted this pass: its link is in the in-flight set and
+                // its floors are in the horizon minimum — the fresh
+                // rescan would not see it as a candidate at all.
+                Cand::Granted => continue,
+            };
+            // Same link: per-link key order says the earlier event goes
+            // first (for transmits this is the "minimum key among
+            // transmits targeting the same rx link" rule; for a
+            // transmit/deadline pair on one node, the delivery and the
+            // verdict must not commute).
+            if etouches == touches {
+                return false;
+            }
+            // Jumping ahead of the earlier event is only sound when
+            // neither event's consequences can undercut the other: the
+            // earlier event's wake chain must not inject below our key,
+            // and ours must not inject below its.
+            match Self::hazard(s, eev) {
+                Some(h) if h <= key.t => return false,
+                _ => {}
+            }
+            match Self::hazard(s, ev) {
+                Some(h) if h <= ekey.t => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
     /// With no event on offer, every node must be running (it will commit
-    /// to an event eventually) or done. A node parked without a deadline
-    /// at that point can never be woken: the free-running path would hang
-    /// in `Receiver::recv`; lockstep turns it into a diagnosis.
+    /// to an event eventually), mid-transmit, or done. A node parked
+    /// without a deadline at that point can never be woken: the
+    /// free-running path would hang in `Receiver::recv`; lockstep turns
+    /// it into a diagnosis.
     fn check_deadlock(&self, s: &State) {
         let any_running = s
             .nodes
             .iter()
             .any(|n| matches!(n.st, St::Running { .. }));
-        if any_running || s.token_owner.is_some() {
+        if any_running || !s.in_flight.is_empty() {
             return;
         }
         let stuck: Vec<usize> = s
@@ -559,6 +933,17 @@ impl LockstepSched {
              flight (protocol deadlock or premature peer exit)"
         );
     }
+}
+
+/// A dispatchable candidate event (borrowed view of a node's state).
+#[derive(Debug, Clone, Copy)]
+enum Cand {
+    Transmit { dst: usize, floor_after: Ns },
+    Deadline { owner: usize },
+    /// Granted earlier in the current dispatch pass; skipped by later
+    /// candidates' pairwise checks (its constraints now live in the
+    /// in-flight set and the horizon minimum).
+    Granted,
 }
 
 impl NodeSt {
@@ -584,51 +969,178 @@ mod tests {
         assert_eq!(SchedMode::default(), SchedMode::FreeRun);
     }
 
-    /// Two nodes race to transmit; the grant order must follow virtual
-    /// keys, not wall-clock arrival at the scheduler.
+    #[test]
+    fn token_mode_parses() {
+        assert_eq!(TokenMode::parse("single"), Some(TokenMode::Single));
+        assert_eq!(TokenMode::parse("per-receiver"), Some(TokenMode::PerReceiver));
+        assert_eq!(TokenMode::parse("PER_RECEIVER"), Some(TokenMode::PerReceiver));
+        assert_eq!(TokenMode::parse(""), Some(TokenMode::PerReceiver));
+        assert_eq!(TokenMode::parse("bogus"), None);
+        assert_eq!(TokenMode::default(), TokenMode::PerReceiver);
+    }
+
+    /// Two nodes race to transmit to the *same* receiver; the grant order
+    /// must follow virtual keys, not wall-clock arrival at the scheduler
+    /// — under either token mode, since the rx link is shared.
     #[test]
     fn grants_follow_virtual_keys() {
-        for _ in 0..20 {
-            let sched = Arc::new(LockstepSched::new(3));
-            let order = Arc::new(Mutex::new(Vec::new()));
-            let mut handles = Vec::new();
-            // Node 2 parks immediately so only 0 and 1 race.
-            {
-                let sched = Arc::clone(&sched);
-                handles.push(thread::spawn(move || {
-                    let seen = sched.delivery_count(2);
-                    sched.park(2, seen, None, Ns(0));
-                    // A woken node keeps its (here: zero) floor until it
-                    // commits to its next fabric action; committing is
-                    // what unblocks later-keyed grants.
-                    sched.mark_done(2);
-                }));
+        for tokens in [TokenMode::Single, TokenMode::PerReceiver] {
+            for _ in 0..20 {
+                let sched = Arc::new(LockstepSched::new_with_tokens(3, tokens));
+                let order = Arc::new(Mutex::new(Vec::new()));
+                let mut handles = Vec::new();
+                // Node 2 parks immediately so only 0 and 1 race.
+                {
+                    let sched = Arc::clone(&sched);
+                    handles.push(thread::spawn(move || {
+                        let seen = sched.delivery_count(2);
+                        sched.park(2, seen, None, Ns(0));
+                        // A woken node keeps its (here: zero) floor until it
+                        // commits to its next fabric action; committing is
+                        // what unblocks later-keyed grants.
+                        sched.mark_done(2);
+                    }));
+                }
+                for (node, inject) in [(0usize, Ns(2_000)), (1usize, Ns(1_000))] {
+                    let sched = Arc::clone(&sched);
+                    let order = Arc::clone(&order);
+                    handles.push(thread::spawn(move || {
+                        // Stagger wall-clock arrival adversarially.
+                        if node == 1 {
+                            thread::sleep(std::time::Duration::from_millis(5));
+                        }
+                        sched.request_transmit(node, 2, inject, inject + Ns(1_000_000));
+                        order.lock().unwrap().push(node);
+                        sched.finish_transmit(node, 2, inject + Ns(10_000));
+                        sched.mark_done(node);
+                    }));
+                }
+                // Wait for both transmits to complete, then unblock node 2's
+                // park by letting its delivery land.
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(
+                    *order.lock().unwrap(),
+                    vec![1, 0],
+                    "grants must follow (virtual time, node, seq) order"
+                );
+                assert_eq!(
+                    sched.max_concurrent_grants(),
+                    1,
+                    "same-receiver transmits must never overlap"
+                );
             }
-            for (node, inject) in [(0usize, Ns(2_000)), (1usize, Ns(1_000))] {
-                let sched = Arc::clone(&sched);
-                let order = Arc::clone(&order);
-                handles.push(thread::spawn(move || {
-                    // Stagger wall-clock arrival adversarially.
-                    if node == 1 {
-                        thread::sleep(std::time::Duration::from_millis(5));
-                    }
-                    sched.request_transmit(node, inject, inject + Ns(1_000_000));
-                    order.lock().unwrap().push(node);
-                    sched.finish_transmit(node, 2, inject + Ns(10_000));
-                    sched.mark_done(node);
-                }));
-            }
-            // Wait for both transmits to complete, then unblock node 2's
-            // park by letting its delivery land.
-            for h in handles {
-                h.join().unwrap();
-            }
-            assert_eq!(
-                *order.lock().unwrap(),
-                vec![1, 0],
-                "grants must follow (virtual time, node, seq) order"
-            );
         }
+    }
+
+    /// Transmits to *distinct* receivers overlap under per-receiver
+    /// tokens: both grants are live at once (proved by both threads
+    /// meeting at a barrier between grant and finish, and by the gauge).
+    #[test]
+    fn disjoint_receivers_grant_concurrently() {
+        let sched = Arc::new(LockstepSched::new(4));
+        // Receivers 2 and 3 are done: their wake floors are +inf, so the
+        // hazard rule cannot block on them.
+        sched.mark_done(2);
+        sched.mark_done(3);
+        let rendezvous = Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for (node, dst, inject) in [(0usize, 2usize, Ns(1_000)), (1, 3, Ns(2_000))] {
+            let sched = Arc::clone(&sched);
+            let rendezvous = Arc::clone(&rendezvous);
+            handles.push(thread::spawn(move || {
+                sched.request_transmit(node, dst, inject, Ns(1_000_000));
+                // Under a single cluster-wide token this rendezvous would
+                // deadlock: the second grant needs the first to finish.
+                rendezvous.wait();
+                sched.finish_transmit(node, dst, inject + Ns(10_000));
+                sched.mark_done(node);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sched.max_concurrent_grants(), 2);
+    }
+
+    /// The same disjoint-receiver schedule under `TokenMode::Single`
+    /// never overlaps grants, whatever the wall-clock interleaving.
+    #[test]
+    fn single_token_serializes_disjoint_receivers() {
+        let sched = Arc::new(LockstepSched::new_with_tokens(4, TokenMode::Single));
+        sched.mark_done(2);
+        sched.mark_done(3);
+        let mut handles = Vec::new();
+        for (node, dst, inject) in [(0usize, 2usize, Ns(1_000)), (1, 3, Ns(2_000))] {
+            let sched = Arc::clone(&sched);
+            handles.push(thread::spawn(move || {
+                sched.request_transmit(node, dst, inject, Ns(1_000_000));
+                thread::sleep(std::time::Duration::from_millis(2));
+                sched.finish_transmit(node, dst, inject + Ns(10_000));
+                sched.mark_done(node);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sched.max_concurrent_grants(), 1);
+    }
+
+    /// An in-flight transmit to a parked, floor-zero receiver blocks a
+    /// later-keyed grant to a *different* receiver: the parked node's
+    /// wake could inject below the later key, so overlapping would
+    /// commit an inbox order the serial schedule might not produce.
+    #[test]
+    fn parked_receiver_wake_hazard_blocks_overlap() {
+        let sched = Arc::new(LockstepSched::new(4));
+        sched.mark_done(2);
+        let granted1 = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        // Node 3 parks with floor 0 (a blocking receive that declared no
+        // better bound).
+        {
+            let sched = Arc::clone(&sched);
+            handles.push(thread::spawn(move || {
+                let seen = sched.delivery_count(3);
+                sched.park(3, seen, None, Ns(0));
+                sched.mark_done(3);
+            }));
+        }
+        thread::sleep(std::time::Duration::from_millis(5));
+        // Node 0 transmits to the parked node 3 and holds the grant.
+        let s0 = Arc::clone(&sched);
+        let hold = Arc::new(std::sync::Barrier::new(2));
+        let h0 = Arc::clone(&hold);
+        handles.push(thread::spawn(move || {
+            s0.request_transmit(0, 3, Ns(1_000), Ns(1_000_000));
+            h0.wait();
+            thread::sleep(std::time::Duration::from_millis(10));
+            s0.finish_transmit(0, 3, Ns(11_000));
+            s0.mark_done(0);
+        }));
+        // Node 1's transmit to the (done, hazard-free) node 2 carries a
+        // later key; it must stay blocked while node 0 is in flight,
+        // because node 3's wake floor (0) could undercut it.
+        let s1 = Arc::clone(&sched);
+        let g1 = Arc::clone(&granted1);
+        handles.push(thread::spawn(move || {
+            s1.request_transmit(1, 2, Ns(5_000), Ns(1_000_000));
+            g1.store(true, std::sync::atomic::Ordering::SeqCst);
+            s1.finish_transmit(1, 2, Ns(15_000));
+            s1.mark_done(1);
+        }));
+        hold.wait(); // node 0 is granted and in flight
+        thread::sleep(std::time::Duration::from_millis(5));
+        assert!(
+            !granted1.load(std::sync::atomic::Ordering::SeqCst),
+            "later-keyed grant overlapped an in-flight transmit whose \
+             receiver could wake below its key"
+        );
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(sched.max_concurrent_grants(), 1);
     }
 
     /// A park with a deadline wakes by timeout when its deadline is the
@@ -667,7 +1179,7 @@ mod tests {
         // the grant fires without waiting for node 0 to commit.
         let s2 = Arc::clone(&sched);
         let t = thread::spawn(move || {
-            s2.request_transmit(1, Ns(2_000), Ns(5_400));
+            s2.request_transmit(1, 0, Ns(2_000), Ns(5_400));
             s2.finish_transmit(1, 0, Ns(12_000));
         });
         // Stand node 0 up as Running{floor: 10_000}: park then release
@@ -689,7 +1201,7 @@ mod tests {
         let sched = Arc::new(LockstepSched::new(2));
         let order = Arc::new(Mutex::new(Vec::new()));
         let mut hs = Vec::new();
-        for (node, t) in [(0usize, Ns(100)), (1usize, Ns(50))] {
+        for (node, t) in [(0usize, Ns(100)), (1, Ns(50))] {
             let s = Arc::clone(&sched);
             let order = Arc::clone(&order);
             hs.push(thread::spawn(move || {
@@ -755,6 +1267,43 @@ mod tests {
             sched.park_done_watch(0, &[1], seen, Ns(0)),
             WakeReason::Delivered
         );
+    }
+
+    /// The combined deadline+done-watch park (the exit fan's wait) fires
+    /// whichever release comes first: timeout while the watched peer is
+    /// alive, `PeersDone` when the peer deregisters before the deadline.
+    #[test]
+    fn deadline_done_watch_park_releases_both_ways() {
+        // Timeout first: peer 0 stays alive (running with a high floor).
+        let sched = Arc::new(LockstepSched::new(2));
+        {
+            let mut s = sched.state.lock().unwrap();
+            s.nodes[0].st = St::Running { floor: Ns(1_000_000) };
+        }
+        let s2 = Arc::clone(&sched);
+        let t = thread::spawn(move || {
+            let seen = s2.delivery_count(1);
+            s2.park_deadline_done_watch(1, &[0], seen, Ns(5_000), Ns(100))
+        });
+        assert_eq!(t.join().unwrap(), WakeReason::Timeout);
+
+        // Peer-done first: the watched node deregisters while the
+        // deadline still sits beyond its (infinite) floor horizon.
+        let sched = Arc::new(LockstepSched::new(2));
+        let s2 = Arc::clone(&sched);
+        let t = thread::spawn(move || {
+            let seen = s2.delivery_count(1);
+            s2.park_deadline_done_watch(1, &[0], seen, Ns(5_000), Ns(100))
+        });
+        thread::sleep(std::time::Duration::from_millis(5));
+        sched.mark_done(0);
+        let r = t.join().unwrap();
+        // Both releases are legitimate here (node 0's mark_done also
+        // leaves the deadline as the next event); what matters is that
+        // PeersDone is possible and nothing hangs. Pin the determinism:
+        // mark_done's watch release runs before its dispatch, so the
+        // watcher must see PeersDone.
+        assert_eq!(r, WakeReason::PeersDone);
     }
 
     #[test]

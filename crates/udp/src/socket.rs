@@ -15,7 +15,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use tm_myrinet::{NicHandle, NodeId, RawPacket};
+use tm_myrinet::{DeadlineWatchRecv, NicHandle, NodeId, RawPacket};
 use tm_sim::faults::checksum32;
 use tm_sim::{Ns, SharedClock, SimParams};
 
@@ -43,6 +43,19 @@ pub struct Datagram {
     /// use it purely as a virtual-time wake signal. Zero-fault runs never
     /// see one.
     pub lost: bool,
+}
+
+/// Outcome of a deadline-bounded receive that also watches for peer
+/// departure (see
+/// [`recv_any_timeout_watching`](UdpStack::recv_any_timeout_watching)).
+#[derive(Debug)]
+pub enum RecvOutcome {
+    /// A datagram became ready on one of the selected ports.
+    Datagram((u16, Datagram)),
+    /// The virtual deadline passed first; the clock has advanced to it.
+    Timeout,
+    /// Every watched peer deregistered its NIC first.
+    PeersDone,
 }
 
 struct SocketState {
@@ -564,6 +577,60 @@ impl UdpStack {
                         // timeout.
                         self.clock.borrow_mut().wait_until(deadline);
                         return None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`recv_any_timeout`](UdpStack::recv_any_timeout) that additionally
+    /// resolves when every node in `watch` has deregistered its NIC. The
+    /// exit fan's retransmission timer runs on this: a timeout armed
+    /// against a peer that already left the fabric must cancel rather
+    /// than fire into a dead node. Under lockstep the three-way race
+    /// (datagram / deadline / peers-done) is resolved by the scheduler in
+    /// virtual time; free-running, peer departure is checked before each
+    /// bounded wait and the wall-clock `guard` keeps its hang-escape
+    /// role.
+    pub fn recv_any_timeout_watching(
+        &mut self,
+        ports: &[u16],
+        watch: &[usize],
+        deadline: Ns,
+        guard: std::time::Duration,
+    ) -> RecvOutcome {
+        self.clock.borrow_mut().advance(self.params.host.syscall); // select()
+        loop {
+            if let Some((port, ready)) = self.earliest_queued(ports) {
+                if ready <= deadline {
+                    return RecvOutcome::Datagram(self.pop_ready(port));
+                }
+                self.clock.borrow_mut().wait_until(deadline);
+                return RecvOutcome::Timeout;
+            }
+            let filter: Vec<u16> = ports.iter().map(|p| SOCKET_PORT_BASE + p).collect();
+            if self.nic.lockstep() {
+                let floor = self.sched_floor();
+                match self
+                    .nic
+                    .recv_any_deadline_done_watch(&filter, watch, deadline, floor)
+                {
+                    DeadlineWatchRecv::Pkt(pkt) => self.admit(pkt),
+                    DeadlineWatchRecv::Timeout => {
+                        self.clock.borrow_mut().wait_until(deadline);
+                        return RecvOutcome::Timeout;
+                    }
+                    DeadlineWatchRecv::PeersDone => return RecvOutcome::PeersDone,
+                }
+            } else {
+                if !self.nic.any_alive(watch) {
+                    return RecvOutcome::PeersDone;
+                }
+                match self.nic.recv_any_bounded(&filter, guard) {
+                    Some(pkt) => self.admit(pkt),
+                    None => {
+                        self.clock.borrow_mut().wait_until(deadline);
+                        return RecvOutcome::Timeout;
                     }
                 }
             }

@@ -222,8 +222,17 @@ fn run_schedule(ops: Vec<(u8, u8)>) -> bool {
     out.iter().all(|o| o.result == expected2)
 }
 
+/// Default 12 cases keeps the suite fast; `PROPTEST_CASES` overrides for
+/// deeper sweeps (the hard-coded `with_cases` would otherwise shadow it).
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
 
     /// Randomized lock/data schedules across 3 nodes and 8 locks keep
     /// per-slot counters exact — mutual exclusion plus LRC visibility
